@@ -1,0 +1,86 @@
+//! Exhaustive enumeration: ground truth for Lemma-1 losslessness tests and
+//! the Table-I `k^n` search-space reference.
+
+use robopt_core::vectorize::{vectorize_assignment, ExecutionPlan};
+use robopt_core::CostOracle;
+use robopt_plan::LogicalPlan;
+use robopt_vector::FeatureLayout;
+
+/// Size of the unpruned search space: `k^n` (may far exceed `u64` for the
+/// Table-I (20, 5) point, hence `u128`).
+pub fn exhaustive_count(n_ops: usize, n_platforms: usize) -> u128 {
+    (n_platforms as u128).pow(n_ops as u32)
+}
+
+/// Cost every one of the `k^n` full assignments and return the optimum.
+/// Buffers are reused across candidates; guarded to small plans.
+pub fn exhaustive_best(
+    plan: &LogicalPlan,
+    layout: &FeatureLayout,
+    oracle: &dyn CostOracle,
+    n_platforms: u8,
+) -> ExecutionPlan {
+    let n = plan.n_ops();
+    let k = n_platforms as usize;
+    let total = exhaustive_count(n, k);
+    assert!(
+        total <= 1 << 22,
+        "exhaustive search space too large: {total}"
+    );
+    let mut assign = vec![0u8; n];
+    let mut feats: Vec<f64> = Vec::new();
+    let mut best_cost = f64::INFINITY;
+    let mut best_assign = assign.clone();
+    for _ in 0..total {
+        vectorize_assignment(plan, layout, &assign, &mut feats);
+        let cost = oracle.cost_row(&feats);
+        if cost < best_cost {
+            best_cost = cost;
+            best_assign.copy_from_slice(&assign);
+        }
+        // Odometer increment in base k.
+        for slot in assign.iter_mut() {
+            *slot += 1;
+            if (*slot as usize) < k {
+                break;
+            }
+            *slot = 0;
+        }
+    }
+    ExecutionPlan {
+        assignments: best_assign,
+        cost: best_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robopt_core::AnalyticOracle;
+    use robopt_plan::{workloads, N_OPERATOR_KINDS};
+
+    #[test]
+    fn counts_grow_as_k_to_the_n() {
+        assert_eq!(exhaustive_count(5, 2), 32);
+        assert_eq!(exhaustive_count(20, 5), 95_367_431_640_625);
+    }
+
+    #[test]
+    fn exhaustive_matches_pruned_enumeration_on_wordcount() {
+        use robopt_core::{EnumOptions, Enumerator};
+        let plan = workloads::wordcount(1e5);
+        let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
+        let oracle = AnalyticOracle::for_layout(&layout);
+        let brute = exhaustive_best(&plan, &layout, &oracle, 2);
+        let (fast, _) = Enumerator::new().enumerate(
+            &plan,
+            &layout,
+            &oracle,
+            EnumOptions {
+                n_platforms: 2,
+                prune: true,
+            },
+        );
+        assert!((brute.cost - fast.cost).abs() <= 1e-9 * brute.cost.abs().max(1.0));
+    }
+}

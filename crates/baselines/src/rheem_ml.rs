@@ -1,0 +1,235 @@
+//! The "Rheem-ML" strawman enumerator (paper Figs 1, 9a).
+//!
+//! Identical search to `robopt_core::Enumerator` — same Def-3 priority
+//! order, same crossing-edge conversion accounting, same Def-2 lossless
+//! boundary pruning, same [`CostOracle`] — but subplans are object graphs
+//! ([`ObjNode`]), and the ML cost model is treated as an external black
+//! box: every cost invocation walks the object graph and materializes a
+//! fresh feature vector (plan-to-vector transformation *at call time*).
+//! Comparing this against the vector-based enumerator isolates precisely
+//! the representation benefit the paper claims.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use robopt_core::vectorize::ExecutionPlan;
+use robopt_core::CostOracle;
+use robopt_plan::LogicalPlan;
+use robopt_vector::{footprint_hash, FeatureLayout, Scope, NO_PLATFORM};
+
+use crate::object_plan::ObjNode;
+
+struct ObjUnit {
+    scope: Scope,
+    /// Candidate subplans paired with their (pruning-time) cost.
+    plans: Vec<(Rc<ObjNode>, f64)>,
+}
+
+/// Object-graph enumerator with per-call plan-to-vector transformation.
+#[derive(Default)]
+pub struct ObjectEnumerator;
+
+impl ObjectEnumerator {
+    pub fn new() -> Self {
+        ObjectEnumerator
+    }
+
+    /// The per-invocation plan-to-vector transformation: walk the object
+    /// graph, materialize placements, then encode the Fig-5 cells. All
+    /// buffers are freshly allocated — that is the point of the strawman.
+    fn cost_object(
+        plan: &LogicalPlan,
+        layout: &FeatureLayout,
+        oracle: &dyn CostOracle,
+        node: &ObjNode,
+    ) -> f64 {
+        let mut placements: Vec<(u32, u8)> = Vec::new();
+        node.collect_into(&mut placements);
+        let mut assign = vec![NO_PLATFORM; plan.n_ops()];
+        for &(op, p) in &placements {
+            assign[op as usize] = p;
+        }
+        let mut feats = vec![0.0; layout.width];
+        for &(op, p) in &placements {
+            let i = op as usize;
+            let kind = plan.op(op).kind.index();
+            let in_t = plan.in_tuples()[i];
+            let out_t = plan.out_card()[i];
+            feats[FeatureLayout::OP_COUNT] += 1.0;
+            feats[FeatureLayout::JUNCTURE_COUNT] += f64::from(u8::from(plan.is_juncture(op)));
+            feats[FeatureLayout::MAX_OUT_CARD] = feats[FeatureLayout::MAX_OUT_CARD].max(out_t);
+            feats[FeatureLayout::MAX_TUPLE_WIDTH] =
+                feats[FeatureLayout::MAX_TUPLE_WIDTH].max(plan.op(op).tuple_width);
+            feats[layout.kind_count(kind)] += 1.0;
+            feats[layout.kind_in_tuples(kind)] += in_t;
+            feats[layout.kind_out_tuples(kind)] += out_t;
+            feats[layout.kind_platform_count(kind, p as usize)] += 1.0;
+            feats[layout.platform_input_tuples(p as usize)] += in_t;
+        }
+        for &(u, v) in plan.edges() {
+            let (pu, pv) = (assign[u as usize], assign[v as usize]);
+            if pu != NO_PLATFORM && pv != NO_PLATFORM && pu != pv {
+                feats[layout.conversion_count(pv as usize)] += 1.0;
+                feats[layout.conversion_tuples(pv as usize)] += plan.out_card()[u as usize];
+            }
+        }
+        oracle.cost_row(&feats)
+    }
+
+    fn boundary_of(plan: &LogicalPlan, scope: Scope) -> Vec<u32> {
+        (0..plan.n_ops() as u32)
+            .filter(|&op| {
+                scope.contains(op)
+                    && plan
+                        .succs(op)
+                        .iter()
+                        .chain(plan.preds(op))
+                        .any(|&o| !scope.contains(o))
+            })
+            .collect()
+    }
+
+    /// Run the enumeration; result matches the vector enumerator's optimum.
+    pub fn enumerate(
+        &mut self,
+        plan: &LogicalPlan,
+        layout: &FeatureLayout,
+        oracle: &dyn CostOracle,
+        n_platforms: u8,
+    ) -> ExecutionPlan {
+        let n = plan.n_ops();
+        let k = n_platforms as usize;
+        assert!(plan.is_connected());
+        let mut units: Vec<Option<ObjUnit>> = (0..n as u32)
+            .map(|op| {
+                let plans = (0..k as u8)
+                    .map(|p| {
+                        let node = ObjNode::leaf(op, p);
+                        let cost = Self::cost_object(plan, layout, oracle, &node);
+                        (node, cost)
+                    })
+                    .collect();
+                Some(ObjUnit {
+                    scope: Scope::singleton(op),
+                    plans,
+                })
+            })
+            .collect();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                let gp = parent[parent[x as usize] as usize];
+                parent[x as usize] = gp;
+                x = gp;
+            }
+            x
+        }
+
+        // Def-3 priority by scan: contract the remaining edge minimizing
+        // |V_a| x |V_b| (ties: fewer merged-boundary ops, then edge order).
+        for _ in 0..n.saturating_sub(1) {
+            let mut best: Option<(u64, u32, usize, u32, u32)> = None;
+            for (e, &(u, v)) in plan.edges().iter().enumerate() {
+                let ra = find(&mut parent, u);
+                let rb = find(&mut parent, v);
+                if ra == rb {
+                    continue;
+                }
+                let pa = units[ra as usize].as_ref().unwrap();
+                let pb = units[rb as usize].as_ref().unwrap();
+                let pri = (pa.plans.len() * pb.plans.len()) as u64;
+                let tie = Self::boundary_of(plan, pa.scope.union(pb.scope)).len() as u32;
+                let key = (pri, tie, e, ra, rb);
+                if best.is_none_or(|b| (b.0, b.1, b.2) > (pri, tie, e)) {
+                    best = Some(key);
+                }
+            }
+            let (_, _, _, ra, rb) = best.expect("connected plan has a crossing edge");
+            let a = units[ra as usize].take().unwrap();
+            let b = units[rb as usize].take().unwrap();
+            let merged_scope = a.scope.union(b.scope);
+            let boundary = Self::boundary_of(plan, merged_scope);
+
+            let mut fp_map: HashMap<u64, usize> = HashMap::new();
+            let mut merged: Vec<(Rc<ObjNode>, f64)> = Vec::new();
+            let mut assign_buf = vec![NO_PLATFORM; n];
+            for (na, _) in &a.plans {
+                for (nb, _) in &b.plans {
+                    // Build the merged object subplan, then cost it through
+                    // the black-box model (object walk + fresh vector).
+                    let node = ObjNode::merge(Rc::clone(na), Rc::clone(nb));
+                    let cost = Self::cost_object(plan, layout, oracle, &node);
+                    // Footprint also comes from the object graph.
+                    let mut placements = Vec::new();
+                    node.collect_into(&mut placements);
+                    assign_buf.fill(NO_PLATFORM);
+                    for &(op, p) in &placements {
+                        assign_buf[op as usize] = p;
+                    }
+                    let fp = footprint_hash(&boundary, &assign_buf);
+                    match fp_map.get(&fp) {
+                        Some(&idx) => {
+                            if cost < merged[idx].1 {
+                                merged[idx] = (node, cost);
+                            }
+                        }
+                        None => {
+                            fp_map.insert(fp, merged.len());
+                            merged.push((node, cost));
+                        }
+                    }
+                }
+            }
+            parent[rb as usize] = ra;
+            units[ra as usize] = Some(ObjUnit {
+                scope: merged_scope,
+                plans: merged,
+            });
+        }
+
+        let root = find(&mut parent, 0);
+        let unit = units[root as usize].take().unwrap();
+        let (best_node, best_cost) = unit
+            .plans
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty enumeration");
+        let mut placements = Vec::new();
+        best_node.collect_into(&mut placements);
+        let mut assignments = vec![NO_PLATFORM; n];
+        for (op, p) in placements {
+            assignments[op as usize] = p;
+        }
+        ExecutionPlan {
+            assignments,
+            cost: *best_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
+    use robopt_plan::{workloads, N_OPERATOR_KINDS};
+
+    #[test]
+    fn object_enumerator_matches_vector_enumerator() {
+        for plan in [workloads::wordcount(1e5), workloads::tpch_q3(1e4)] {
+            let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
+            let oracle = AnalyticOracle::for_layout(&layout);
+            let (vec_exec, _) = Enumerator::new().enumerate(
+                &plan,
+                &layout,
+                &oracle,
+                EnumOptions {
+                    n_platforms: 2,
+                    prune: true,
+                },
+            );
+            let obj_exec = ObjectEnumerator::new().enumerate(&plan, &layout, &oracle, 2);
+            let tol = 1e-9 * vec_exec.cost.abs().max(1.0);
+            assert!((vec_exec.cost - obj_exec.cost).abs() <= tol);
+        }
+    }
+}

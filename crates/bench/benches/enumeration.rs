@@ -1,0 +1,76 @@
+//! Bench `enumeration`: the Fig-1 hot paths under the in-tree harness
+//! (criterion stand-in; this environment has no registry access).
+//!
+//! Run with `cargo bench -p robopt-bench --bench enumeration`.
+
+use robopt_baselines::ObjectEnumerator;
+use robopt_bench::bench;
+use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
+use robopt_plan::{workloads, N_OPERATOR_KINDS};
+use robopt_vector::merge::merge_feats;
+use robopt_vector::FeatureLayout;
+
+fn report(name: &str, t: robopt_bench::Timing) {
+    println!(
+        "enumeration/{name:<28} median {:>12.1} ns  mean {:>12.1} ns",
+        t.median_ns, t.mean_ns
+    );
+}
+
+fn main() {
+    // cargo passes flags like `--bench`; the harness has no options to parse.
+    let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
+    let oracle = AnalyticOracle::for_layout(&layout);
+    let opts = EnumOptions {
+        n_platforms: 2,
+        prune: true,
+    };
+
+    // Raw merge kernel: one fused add over a row pair.
+    let a = vec![1.5f64; layout.width];
+    let b = vec![2.5f64; layout.width];
+    let mut dst = vec![0.0f64; layout.width];
+    report(
+        "merge_kernel",
+        bench(1000, 100_001, || {
+            merge_feats(&mut dst, &a, &b);
+            std::hint::black_box(dst[0]);
+        }),
+    );
+
+    for (name, n) in [
+        ("vector/17_ops", 17usize),
+        ("vector/40_ops", 40),
+        ("vector/80_ops", 80),
+    ] {
+        let plan = if n == 17 {
+            workloads::tpch_q3(1e5)
+        } else {
+            workloads::synthetic_pipeline(n, 1e5)
+        };
+        let mut e = Enumerator::new();
+        report(
+            name,
+            bench(20, 201, || {
+                let (exec, _) = e.enumerate(&plan, &layout, &oracle, opts);
+                std::hint::black_box(exec.cost);
+            }),
+        );
+    }
+
+    for (name, n) in [("object/17_ops", 17usize), ("object/40_ops", 40)] {
+        let plan = if n == 17 {
+            workloads::tpch_q3(1e5)
+        } else {
+            workloads::synthetic_pipeline(n, 1e5)
+        };
+        let mut e = ObjectEnumerator::new();
+        report(
+            name,
+            bench(10, 101, || {
+                let exec = e.enumerate(&plan, &layout, &oracle, 2);
+                std::hint::black_box(exec.cost);
+            }),
+        );
+    }
+}

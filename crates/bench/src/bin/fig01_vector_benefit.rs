@@ -1,0 +1,172 @@
+//! Fig 1: improvement factor of vector-based over traditional
+//! (object-graph) enumeration with an ML-style cost model, 2 platforms.
+//!
+//! Both enumerators run the same algorithm (Def-3 priority, Def-2 lossless
+//! pruning) against the same analytic [`robopt_core::CostOracle`]; only the
+//! subplan representation differs, so the measured gap isolates the
+//! vectorization benefit. Writes `EXPERIMENTS_OUTPUT/fig01_vector_benefit.txt`
+//! and `BENCH_enumeration.json` at the repository root.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use robopt_baselines::ObjectEnumerator;
+use robopt_bench::{bench, repo_root};
+use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
+use robopt_plan::{workloads, LogicalPlan, N_OPERATOR_KINDS};
+use robopt_vector::FeatureLayout;
+
+const PLATFORMS: u8 = 2;
+const WARMUP: usize = 20;
+const ITERS: usize = 101;
+
+struct Row {
+    task: &'static str,
+    ops: usize,
+    vector_ms: f64,
+    object_ms: f64,
+}
+
+impl Row {
+    fn improvement(&self) -> f64 {
+        self.object_ms / self.vector_ms
+    }
+}
+
+fn measure(task: &'static str, plan: &LogicalPlan) -> Row {
+    let layout = FeatureLayout::new(PLATFORMS as usize, N_OPERATOR_KINDS);
+    let oracle = AnalyticOracle::for_layout(&layout);
+    let opts = EnumOptions {
+        n_platforms: PLATFORMS,
+        prune: true,
+    };
+
+    let mut vector_enum = Enumerator::new();
+    let vector_cost = vector_enum.enumerate(plan, &layout, &oracle, opts).0.cost;
+    let vector_t = bench(WARMUP, ITERS, || {
+        let (exec, _) = vector_enum.enumerate(plan, &layout, &oracle, opts);
+        std::hint::black_box(exec.cost);
+    });
+
+    let mut object_enum = ObjectEnumerator::new();
+    let object_cost = object_enum
+        .enumerate(plan, &layout, &oracle, PLATFORMS)
+        .cost;
+    let object_t = bench(WARMUP, ITERS, || {
+        let exec = object_enum.enumerate(plan, &layout, &oracle, PLATFORMS);
+        std::hint::black_box(exec.cost);
+    });
+
+    let tol = 1e-9 * vector_cost.abs().max(1.0);
+    assert!(
+        (vector_cost - object_cost).abs() <= tol,
+        "{task}: enumerators disagree (vector {vector_cost} vs object {object_cost}) — \
+         the comparison would not isolate representation"
+    );
+
+    Row {
+        task,
+        ops: plan.n_ops(),
+        vector_ms: vector_t.median_ms(),
+        object_ms: object_t.median_ms(),
+    }
+}
+
+fn main() {
+    let rows = vec![
+        measure("WordCount (6 op.)", &workloads::wordcount(1e5)),
+        measure("TPC-H Q3 (17 op.)", &workloads::tpch_q3(1e5)),
+        measure(
+            "Synthetic (25 op.)",
+            &workloads::synthetic_pipeline(25, 1e5),
+        ),
+        measure(
+            "Synthetic (40 op.)",
+            &workloads::synthetic_pipeline(40, 1e5),
+        ),
+    ];
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Fig 1: vector-based vs traditional (object-based) ML enumeration, {PLATFORMS} platforms"
+    );
+    let _ = writeln!(
+        report,
+        "{:<22} {:>12} {:>12} {:>12}",
+        "task", "vector ms", "object ms", "improvement"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            report,
+            "{:<22} {:>12.4} {:>12.4} {:>11.1}x",
+            r.task,
+            r.vector_ms,
+            r.object_ms,
+            r.improvement()
+        );
+    }
+
+    let at_scale: Vec<&Row> = rows.iter().filter(|r| r.ops >= 17).collect();
+    let min_factor_at_scale = at_scale
+        .iter()
+        .map(|r| r.improvement())
+        .fold(f64::INFINITY, f64::min);
+    let grows = rows.last().unwrap().improvement() > rows.first().unwrap().improvement();
+    let _ = writeln!(report);
+    let _ = writeln!(
+        report,
+        "CHECK vector >= 2x at >= 17 operators: {} (min factor {:.2}x)",
+        if min_factor_at_scale >= 2.0 {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        min_factor_at_scale
+    );
+    let _ = writeln!(
+        report,
+        "CHECK improvement grows with operator count ({:.1}x @ 6 op -> {:.1}x @ 40 op): {}",
+        rows.first().unwrap().improvement(),
+        rows.last().unwrap().improvement(),
+        if grows { "PASS" } else { "FAIL" }
+    );
+    let _ = writeln!(
+        report,
+        "paper shape: improvement factor grows with operator count (~2x -> ~8x)"
+    );
+    print!("{report}");
+
+    let root = repo_root();
+    fs::create_dir_all(root.join("EXPERIMENTS_OUTPUT")).expect("create EXPERIMENTS_OUTPUT");
+    fs::write(
+        root.join("EXPERIMENTS_OUTPUT/fig01_vector_benefit.txt"),
+        &report,
+    )
+    .expect("write fig01 report");
+
+    // Hand-rendered JSON (offline environment: no serde_json).
+    let mut json = String::from("{\n  \"experiment\": \"fig01_vector_benefit\",\n");
+    let _ = writeln!(json, "  \"platforms\": {PLATFORMS},");
+    let _ = writeln!(json, "  \"iters\": {ITERS},");
+    json.push_str("  \"entries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"task\": \"{}\", \"ops\": {}, \"vector_ms\": {:.6}, \"object_ms\": {:.6}, \"improvement\": {:.3}}}",
+            r.task,
+            r.ops,
+            r.vector_ms,
+            r.object_ms,
+            r.improvement()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    fs::write(root.join("BENCH_enumeration.json"), json).expect("write BENCH_enumeration.json");
+
+    if min_factor_at_scale < 2.0 || !grows {
+        eprintln!("fig01 acceptance checks FAILED");
+        std::process::exit(1);
+    }
+}

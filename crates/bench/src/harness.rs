@@ -1,0 +1,62 @@
+//! Median-of-N wall-clock timing.
+
+use std::time::Instant;
+
+/// Result of one benchmark: nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub iters: usize,
+}
+
+impl Timing {
+    pub fn median_ms(&self) -> f64 {
+        self.median_ns / 1e6
+    }
+}
+
+/// Run `f` for `warmup` untimed iterations, then `iters` timed ones.
+pub fn bench<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> Timing {
+    assert!(iters > 0);
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let median_ns = if iters % 2 == 1 {
+        samples[iters / 2]
+    } else {
+        0.5 * (samples[iters / 2 - 1] + samples[iters / 2])
+    };
+    let mean_ns = samples.iter().sum::<f64>() / iters as f64;
+    Timing {
+        median_ns,
+        mean_ns,
+        min_ns: samples[0],
+        iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_fields_are_consistent() {
+        let mut x = 0u64;
+        let t = bench(2, 11, || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(x);
+        });
+        assert_eq!(t.iters, 11);
+        assert!(t.min_ns <= t.median_ns);
+        assert!(t.median_ns >= 0.0 && t.mean_ns >= 0.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! `robopt-cli`: the `robopt` command-line tool (train / optimize /
+//! simulate / compare / workloads).
+//!
+//! **Stub** — lands in a later PR (see ROADMAP.md "Open items").
+
+/// Exit code returned until the CLI lands.
+pub const EXIT_UNIMPLEMENTED: i32 = 2;
+
+/// Placeholder entry point so dependents can reference the crate.
+pub fn run() -> i32 {
+    eprintln!("the robopt CLI lands in a later PR; see ROADMAP.md");
+    EXIT_UNIMPLEMENTED
+}

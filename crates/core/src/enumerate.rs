@@ -1,0 +1,430 @@
+//! Algorithm 1: priority-based enumeration over plan-vector matrices.
+//!
+//! The enumeration graph starts with one unit per operator (`k` singleton
+//! rows each). Repeatedly, the dataflow edge whose endpoint units would
+//! produce the fewest combinations (Def. 3: `|V_a| x |V_b|`, ties broken by
+//! fewer boundary operators of the merged scope, then FIFO) is contracted:
+//! the two matrices are cross-merged with the fused add kernel, conversion
+//! features are added for every dataflow edge crossing the two scopes, and
+//! Def-2 boundary pruning keeps the cheapest row per pruning footprint.
+//! When one unit covers the whole plan its empty footprint leaves exactly
+//! the optimal row, which `unvectorize` turns into an [`ExecutionPlan`].
+//!
+//! Zero-allocation hot path: the [`Enumerator`] owns matrix pools, scratch
+//! row buffers, the priority heap and the footprint map, all reused across
+//! calls. After a warm-up run, enumerating performs no `EnumMatrix` buffer
+//! growth (asserted by `tests/buffer_reuse.rs` via
+//! [`robopt_vector::alloc_events`]).
+
+use std::collections::HashMap;
+
+use robopt_plan::LogicalPlan;
+use robopt_vector::merge::{merge_assignments, merge_feats};
+use robopt_vector::{footprint_hash, EnumMatrix, FeatureLayout, Scope, NO_PLATFORM};
+
+use crate::oracle::CostOracle;
+use crate::vectorize::{add_conversion_features, fill_singleton, ExecutionPlan};
+
+/// Enumeration options.
+#[derive(Debug, Clone, Copy)]
+pub struct EnumOptions {
+    pub n_platforms: u8,
+    /// Apply Def-2 boundary pruning (lossless). Disabling it makes the
+    /// search space grow as `k^n`; only sensible for tiny test plans.
+    pub prune: bool,
+}
+
+/// Counters reported by one enumeration run (Table-I instrumentation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnumStats {
+    /// Candidate subplan vectors produced by `merge` (pre-pruning), plus the
+    /// initial singletons.
+    pub generated: u64,
+    /// Subplan vectors retained after pruning (the paper's "# enumerated
+    /// subplans"), summed over all units ever materialized.
+    pub kept: u64,
+    /// Merge steps performed (always `n - 1` for a connected plan).
+    pub merges: u64,
+    /// Largest row count any single unit reached.
+    pub peak_rows: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    priority: u64,
+    tie_boundary: u32,
+    seq: u32,
+    edge: u32,
+}
+
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (u64, u32, u32) {
+        (self.priority, self.tie_boundary, self.seq)
+    }
+}
+
+/// Minimal binary min-heap over a reusable `Vec` (keeps its capacity across
+/// enumeration runs, unlike `std::collections::BinaryHeap` draining).
+#[derive(Debug, Default)]
+struct MinHeap {
+    items: Vec<HeapEntry>,
+}
+
+impl MinHeap {
+    fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    fn push(&mut self, e: HeapEntry) {
+        self.items.push(e);
+        let mut i = self.items.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.items[i].key() < self.items[parent].key() {
+                self.items.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<HeapEntry> {
+        let n = self.items.len();
+        if n == 0 {
+            return None;
+        }
+        self.items.swap(0, n - 1);
+        let top = self.items.pop();
+        let n = self.items.len();
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < n && self.items[l].key() < self.items[smallest].key() {
+                smallest = l;
+            }
+            if r < n && self.items[r].key() < self.items[smallest].key() {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.items.swap(i, smallest);
+            i = smallest;
+        }
+        top
+    }
+}
+
+#[derive(Debug)]
+struct Unit {
+    scope: Scope,
+    mat: EnumMatrix,
+}
+
+/// The vector-based enumerator with pooled, reusable buffers.
+#[derive(Debug, Default)]
+pub struct Enumerator {
+    pool: Vec<EnumMatrix>,
+    units: Vec<Option<Unit>>,
+    parent: Vec<u32>,
+    heap: MinHeap,
+    fp_map: HashMap<u64, u32>,
+    scratch_feats: Vec<f64>,
+    scratch_assign: Vec<u8>,
+    boundary: Vec<u32>,
+    crossing: Vec<(u32, u32)>,
+}
+
+impl Enumerator {
+    pub fn new() -> Self {
+        Enumerator::default()
+    }
+
+    #[inline]
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Take a pooled matrix, best-fit by the rows it will have to hold, so
+    /// warmed pools satisfy every demand without growing.
+    fn take_mat(&mut self, width: usize, n_ops: usize, rows_hint: usize) -> EnumMatrix {
+        let needed = rows_hint * width;
+        let mut m = match self.pool.iter().position(|m| m.feat_capacity() >= needed) {
+            Some(i) => self.pool.swap_remove(i),
+            None => self.pool.pop().unwrap_or_default(),
+        };
+        m.reset(width, n_ops);
+        m.reserve_rows(rows_hint);
+        m
+    }
+
+    /// Number of boundary operators of `scope`: operators inside with at
+    /// least one dataflow edge to an operator outside.
+    fn boundary_count(plan: &LogicalPlan, scope: Scope) -> u32 {
+        let mut count = 0;
+        for op in 0..plan.n_ops() as u32 {
+            if scope.contains(op) {
+                let crosses = plan
+                    .succs(op)
+                    .iter()
+                    .chain(plan.preds(op))
+                    .any(|&o| !scope.contains(o));
+                count += u32::from(crosses);
+            }
+        }
+        count
+    }
+
+    /// Run Algorithm 1. The plan must be sealed and connected.
+    pub fn enumerate(
+        &mut self,
+        plan: &LogicalPlan,
+        layout: &FeatureLayout,
+        oracle: &dyn CostOracle,
+        opts: EnumOptions,
+    ) -> (ExecutionPlan, EnumStats) {
+        let n = plan.n_ops();
+        let k = opts.n_platforms as usize;
+        assert!(n >= 1 && k >= 1 && k <= layout.n_platforms);
+        assert!(plan.is_connected(), "enumeration requires a connected plan");
+        let mut stats = EnumStats::default();
+
+        // vectorize: one unit per operator, k singleton rows each.
+        self.units.clear();
+        self.parent.clear();
+        self.scratch_feats.clear();
+        self.scratch_feats.resize(layout.width, 0.0);
+        self.scratch_assign.clear();
+        self.scratch_assign.resize(n, NO_PLATFORM);
+        for op in 0..n as u32 {
+            let mut mat = self.take_mat(layout.width, n, k);
+            for p in 0..k as u8 {
+                self.scratch_feats.fill(0.0);
+                self.scratch_assign.fill(NO_PLATFORM);
+                fill_singleton(plan, layout, op, p, &mut self.scratch_feats);
+                self.scratch_assign[op as usize] = p;
+                let cost = oracle.cost_row(&self.scratch_feats);
+                mat.push_row(&self.scratch_feats, &self.scratch_assign, cost);
+            }
+            stats.generated += k as u64;
+            stats.kept += k as u64;
+            self.units.push(Some(Unit {
+                scope: Scope::singleton(op),
+                mat,
+            }));
+            self.parent.push(op);
+        }
+        stats.peak_rows = k as u64;
+
+        // Seed the priority queue with every dataflow edge.
+        self.heap.clear();
+        for (e, &(u, v)) in plan.edges().iter().enumerate() {
+            let tie = Self::boundary_count(plan, Scope::singleton(u).union(Scope::singleton(v)));
+            self.heap.push(HeapEntry {
+                priority: (k * k) as u64,
+                tie_boundary: tie,
+                seq: e as u32,
+                edge: e as u32,
+            });
+        }
+
+        // Contract edges in priority order (lazy staleness handling: an
+        // entry whose stored priority no longer matches is re-pushed with
+        // the current value).
+        while let Some(entry) = self.heap.pop() {
+            let (eu, ev) = plan.edges()[entry.edge as usize];
+            let ra = self.find(eu);
+            let rb = self.find(ev);
+            if ra == rb {
+                continue;
+            }
+            let rows_a = self.units[ra as usize].as_ref().unwrap().mat.rows();
+            let rows_b = self.units[rb as usize].as_ref().unwrap().mat.rows();
+            let current = (rows_a * rows_b) as u64;
+            if current != entry.priority {
+                self.heap.push(HeapEntry {
+                    priority: current,
+                    ..entry
+                });
+                continue;
+            }
+
+            let a = self.units[ra as usize].take().unwrap();
+            let b = self.units[rb as usize].take().unwrap();
+            let merged_scope = a.scope.union(b.scope);
+
+            // Dataflow edges crossing the two scopes (conversion sites).
+            self.crossing.clear();
+            for &(u, v) in plan.edges() {
+                if (a.scope.contains(u) && b.scope.contains(v))
+                    || (b.scope.contains(u) && a.scope.contains(v))
+                {
+                    self.crossing.push((u, v));
+                }
+            }
+            // Boundary operators of the merged scope, ascending op id
+            // (canonical footprint order).
+            self.boundary.clear();
+            for op in 0..n as u32 {
+                if merged_scope.contains(op) {
+                    let crosses = plan
+                        .succs(op)
+                        .iter()
+                        .chain(plan.preds(op))
+                        .any(|&o| !merged_scope.contains(o));
+                    if crosses {
+                        self.boundary.push(op);
+                    }
+                }
+            }
+
+            // Footprint count bounds retained rows when pruning: k^|boundary|.
+            let cap = if opts.prune {
+                (k as u64)
+                    .saturating_pow(self.boundary.len() as u32)
+                    .min((rows_a * rows_b) as u64) as usize
+            } else {
+                rows_a * rows_b
+            };
+            let mut dst = self.take_mat(layout.width, n, cap);
+            self.fp_map.clear();
+
+            // Split scratch buffers out of `self` so the borrows below are
+            // disjoint; they are put back (capacity intact) after the loop.
+            let mut feats = std::mem::take(&mut self.scratch_feats);
+            let mut assign = std::mem::take(&mut self.scratch_assign);
+            for ia in 0..a.mat.rows() {
+                for ib in 0..b.mat.rows() {
+                    merge_feats(&mut feats, a.mat.row(ia), b.mat.row(ib));
+                    merge_assignments(&mut assign, a.mat.assignments(ia), b.mat.assignments(ib));
+                    for &(u, v) in &self.crossing {
+                        add_conversion_features(
+                            plan,
+                            layout,
+                            u,
+                            v,
+                            assign[u as usize],
+                            assign[v as usize],
+                            &mut feats,
+                        );
+                    }
+                    let cost = oracle.cost_row(&feats);
+                    stats.generated += 1;
+                    if opts.prune {
+                        let fp = footprint_hash(&self.boundary, &assign);
+                        match self.fp_map.get(&fp) {
+                            Some(&row) => {
+                                if cost < dst.cost(row as usize) {
+                                    dst.overwrite_row(row as usize, &feats, &assign, cost);
+                                }
+                            }
+                            None => {
+                                let row = dst.push_row(&feats, &assign, cost);
+                                self.fp_map.insert(fp, row as u32);
+                            }
+                        }
+                    } else {
+                        dst.push_row(&feats, &assign, cost);
+                    }
+                }
+            }
+            self.scratch_feats = feats;
+            self.scratch_assign = assign;
+
+            stats.merges += 1;
+            stats.kept += dst.rows() as u64;
+            stats.peak_rows = stats.peak_rows.max(dst.rows() as u64);
+
+            // Contract: rb joins ra; recycle the consumed matrices.
+            self.parent[rb as usize] = ra;
+            self.pool.push(a.mat);
+            self.pool.push(b.mat);
+            self.units[ra as usize] = Some(Unit {
+                scope: merged_scope,
+                mat: dst,
+            });
+        }
+
+        // unvectorize: the surviving unit's cheapest row.
+        let root = self.find(0);
+        let unit = self.units[root as usize].take().unwrap();
+        debug_assert_eq!(unit.scope.len() as usize, n);
+        let best = unit.mat.min_cost_row().expect("non-empty enumeration");
+        let result = ExecutionPlan {
+            assignments: unit.mat.assignments(best).to_vec(),
+            cost: unit.mat.cost(best),
+        };
+        self.pool.push(unit.mat);
+        (result, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::AnalyticOracle;
+    use robopt_plan::{workloads, N_OPERATOR_KINDS};
+
+    fn run(plan: &LogicalPlan, k: u8, prune: bool) -> (ExecutionPlan, EnumStats) {
+        let layout = FeatureLayout::new(k as usize, N_OPERATOR_KINDS);
+        let oracle = AnalyticOracle::for_layout(&layout);
+        Enumerator::new().enumerate(
+            plan,
+            &layout,
+            &oracle,
+            EnumOptions {
+                n_platforms: k,
+                prune,
+            },
+        )
+    }
+
+    #[test]
+    fn wordcount_enumeration_is_complete_and_assigned() {
+        let plan = workloads::wordcount(1e5);
+        let (exec, stats) = run(&plan, 2, true);
+        assert_eq!(exec.assignments.len(), 6);
+        assert!(exec.assignments.iter().all(|&p| p < 2));
+        assert!(exec.cost.is_finite() && exec.cost > 0.0);
+        assert_eq!(stats.merges, 5);
+    }
+
+    #[test]
+    fn pruned_and_unpruned_agree_on_small_plans() {
+        let plan = workloads::wordcount(1e5);
+        let (pruned, s1) = run(&plan, 2, true);
+        let (full, s2) = run(&plan, 2, false);
+        assert!((pruned.cost - full.cost).abs() <= 1e-9 * full.cost.abs());
+        assert!(s1.kept < s2.kept);
+    }
+
+    #[test]
+    fn optimum_is_no_worse_than_any_uniform_assignment() {
+        use crate::vectorize::vectorize_assignment;
+        let plan = workloads::tpch_q3(1e5);
+        let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
+        let oracle = AnalyticOracle::for_layout(&layout);
+        let (exec, _) = Enumerator::new().enumerate(
+            &plan,
+            &layout,
+            &oracle,
+            EnumOptions {
+                n_platforms: 2,
+                prune: true,
+            },
+        );
+        let mut feats = Vec::new();
+        for p in 0..2u8 {
+            vectorize_assignment(&plan, &layout, &vec![p; plan.n_ops()], &mut feats);
+            assert!(exec.cost <= oracle.cost_row(&feats) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! `robopt-core`: the vector-based optimizer.
+//!
+//! * [`oracle`] — the pluggable [`oracle::CostOracle`] trait and the
+//!   deterministic analytic oracle used until the random forest lands;
+//! * [`vectorize`] — whole-plan and singleton Fig-5 encodings, conversion
+//!   features, and `unvectorize` back to an executable platform assignment;
+//! * [`enumerate`] — Algorithm 1: priority-queue enumeration over
+//!   [`robopt_vector::EnumMatrix`] units with lossless boundary pruning
+//!   (Def. 2) and enumeration statistics.
+
+pub mod enumerate;
+pub mod oracle;
+pub mod vectorize;
+
+pub use enumerate::{EnumOptions, EnumStats, Enumerator};
+pub use oracle::{AnalyticOracle, CostOracle};
+pub use vectorize::ExecutionPlan;

@@ -1,0 +1,137 @@
+//! `vectorize` and `unvectorize` (paper Section IV-C).
+//!
+//! Three encoders share one definition of the Fig-5 cells:
+//!
+//! * [`fill_singleton`] — one operator on one platform (the enumeration
+//!   seeds);
+//! * [`vectorize_assignment`] — a whole plan under a full assignment (used
+//!   by the exhaustive baseline and the property tests);
+//! * [`add_conversion_features`] — the data-movement cells added when a
+//!   merge joins two scopes across dataflow edges whose endpoint platforms
+//!   differ.
+//!
+//! The incremental path (singletons + merges + conversion additions) and the
+//! whole-plan path produce identical vectors; a property test asserts this
+//! on random DAGs.
+
+use robopt_plan::LogicalPlan;
+use robopt_vector::{FeatureLayout, NO_PLATFORM};
+
+/// The result of `unvectorize`: an executable platform assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionPlan {
+    /// Platform per operator, indexed by op id.
+    pub assignments: Vec<u8>,
+    /// Cost under the oracle that drove the enumeration.
+    pub cost: f64,
+}
+
+/// Encode a single operator running on `platform` into `feats`
+/// (which must be zeroed, `layout.width` long).
+pub fn fill_singleton(
+    plan: &LogicalPlan,
+    layout: &FeatureLayout,
+    op: u32,
+    platform: u8,
+    feats: &mut [f64],
+) {
+    debug_assert_eq!(feats.len(), layout.width);
+    let i = op as usize;
+    let kind = plan.op(op).kind.index();
+    let in_t = plan.in_tuples()[i];
+    let out_t = plan.out_card()[i];
+    feats[FeatureLayout::OP_COUNT] = 1.0;
+    feats[FeatureLayout::JUNCTURE_COUNT] = f64::from(u8::from(plan.is_juncture(op)));
+    feats[FeatureLayout::MAX_OUT_CARD] = out_t;
+    feats[FeatureLayout::MAX_TUPLE_WIDTH] = plan.op(op).tuple_width;
+    feats[layout.kind_count(kind)] = 1.0;
+    feats[layout.kind_in_tuples(kind)] = in_t;
+    feats[layout.kind_out_tuples(kind)] = out_t;
+    feats[layout.kind_platform_count(kind, platform as usize)] = 1.0;
+    feats[layout.platform_input_tuples(platform as usize)] = in_t;
+}
+
+/// Add the conversion features of one dataflow edge `(u, v)` whose endpoint
+/// platforms differ: one conversion *into* `v`'s platform, moving `u`'s
+/// output tuples. No-op when both endpoints share a platform.
+#[inline]
+pub fn add_conversion_features(
+    plan: &LogicalPlan,
+    layout: &FeatureLayout,
+    u: u32,
+    _v: u32,
+    pu: u8,
+    pv: u8,
+    feats: &mut [f64],
+) {
+    if pu != pv {
+        feats[layout.conversion_count(pv as usize)] += 1.0;
+        feats[layout.conversion_tuples(pv as usize)] += plan.out_card()[u as usize];
+    }
+}
+
+/// Encode a whole plan under a full platform assignment. `feats` is
+/// overwritten (zeroed first); `assign[i]` must be a valid platform for
+/// every operator.
+pub fn vectorize_assignment(
+    plan: &LogicalPlan,
+    layout: &FeatureLayout,
+    assign: &[u8],
+    feats: &mut Vec<f64>,
+) {
+    debug_assert_eq!(assign.len(), plan.n_ops());
+    feats.clear();
+    feats.resize(layout.width, 0.0);
+    for op in 0..plan.n_ops() as u32 {
+        let i = op as usize;
+        debug_assert!(assign[i] != NO_PLATFORM);
+        let kind = plan.op(op).kind.index();
+        let in_t = plan.in_tuples()[i];
+        let out_t = plan.out_card()[i];
+        feats[FeatureLayout::OP_COUNT] += 1.0;
+        feats[FeatureLayout::JUNCTURE_COUNT] += f64::from(u8::from(plan.is_juncture(op)));
+        feats[FeatureLayout::MAX_OUT_CARD] = feats[FeatureLayout::MAX_OUT_CARD].max(out_t);
+        feats[FeatureLayout::MAX_TUPLE_WIDTH] =
+            feats[FeatureLayout::MAX_TUPLE_WIDTH].max(plan.op(op).tuple_width);
+        feats[layout.kind_count(kind)] += 1.0;
+        feats[layout.kind_in_tuples(kind)] += in_t;
+        feats[layout.kind_out_tuples(kind)] += out_t;
+        feats[layout.kind_platform_count(kind, assign[i] as usize)] += 1.0;
+        feats[layout.platform_input_tuples(assign[i] as usize)] += in_t;
+    }
+    for &(u, v) in plan.edges() {
+        add_conversion_features(
+            plan,
+            layout,
+            u,
+            v,
+            assign[u as usize],
+            assign[v as usize],
+            feats,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robopt_plan::{workloads, N_OPERATOR_KINDS};
+
+    #[test]
+    fn whole_plan_counts_ops_and_conversions() {
+        let plan = workloads::wordcount(1000.0);
+        let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
+        let mut feats = Vec::new();
+        // Alternating assignment: every one of the 5 edges crosses platforms.
+        let assign: Vec<u8> = (0..plan.n_ops()).map(|i| (i % 2) as u8).collect();
+        vectorize_assignment(&plan, &layout, &assign, &mut feats);
+        assert_eq!(feats[FeatureLayout::OP_COUNT], 6.0);
+        let convs: f64 = (0..2).map(|p| feats[layout.conversion_count(p)]).sum();
+        assert_eq!(convs, 5.0);
+        // Uniform assignment: no conversions.
+        vectorize_assignment(&plan, &layout, &[0u8; 6], &mut feats);
+        let convs: f64 = (0..2).map(|p| feats[layout.conversion_count(p)]).sum();
+        assert_eq!(convs, 0.0);
+        assert_eq!(feats[layout.platform_input_tuples(1)], 0.0);
+    }
+}

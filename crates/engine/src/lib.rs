@@ -1,0 +1,9 @@
+//! `robopt-engine`: a small single-process dataflow executor (the "Java
+//! platform" made real) plus synthetic data generators, proving logical
+//! plans are runnable end to end (WordCount really counts words).
+//!
+//! **Stub** — lands in a later PR (see ROADMAP.md "Open items").
+
+/// Placeholder so dependents can reference the crate.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Placeholder;

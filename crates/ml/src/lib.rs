@@ -1,0 +1,11 @@
+//! `robopt-ml`: dense-matrix mini-linalg, CART regression trees, a bagged
+//! random forest (the paper's cost model), linear-regression baseline and
+//! accuracy metrics.
+//!
+//! **Stub** — lands in a later PR (see ROADMAP.md "Open items"). Until
+//! then, `robopt_core::AnalyticOracle` implements the `CostOracle` trait
+//! the forest will plug into.
+
+/// Placeholder so dependents can reference the crate.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Placeholder;

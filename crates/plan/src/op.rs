@@ -1,0 +1,167 @@
+//! Logical operator kinds and per-operator metadata.
+//!
+//! The 24 kinds mirror the Rheem operator algebra the paper enumerates over
+//! (Section II). Each kind carries a default selectivity (output/input tuple
+//! ratio) and a default tuple width used by cardinality propagation and by
+//! the Fig-5 feature vector.
+
+/// Number of logical operator kinds — the `o` dimension of the Fig-5 layout.
+pub const N_OPERATOR_KINDS: usize = 24;
+
+/// The logical operator algebra (24 kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OperatorKind {
+    TextFileSource = 0,
+    CollectionSource = 1,
+    TableSource = 2,
+    Map = 3,
+    FlatMap = 4,
+    MapPartitions = 5,
+    Filter = 6,
+    Sample = 7,
+    Distinct = 8,
+    ReduceByKey = 9,
+    GroupByKey = 10,
+    Aggregate = 11,
+    GlobalReduce = 12,
+    Count = 13,
+    Join = 14,
+    CartesianProduct = 15,
+    Union = 16,
+    Intersect = 17,
+    Sort = 18,
+    ZipWithId = 19,
+    Cache = 20,
+    Broadcast = 21,
+    RepeatLoop = 22,
+    LocalCallbackSink = 23,
+}
+
+impl OperatorKind {
+    /// All kinds, in feature-layout order.
+    pub const ALL: [OperatorKind; N_OPERATOR_KINDS] = [
+        OperatorKind::TextFileSource,
+        OperatorKind::CollectionSource,
+        OperatorKind::TableSource,
+        OperatorKind::Map,
+        OperatorKind::FlatMap,
+        OperatorKind::MapPartitions,
+        OperatorKind::Filter,
+        OperatorKind::Sample,
+        OperatorKind::Distinct,
+        OperatorKind::ReduceByKey,
+        OperatorKind::GroupByKey,
+        OperatorKind::Aggregate,
+        OperatorKind::GlobalReduce,
+        OperatorKind::Count,
+        OperatorKind::Join,
+        OperatorKind::CartesianProduct,
+        OperatorKind::Union,
+        OperatorKind::Intersect,
+        OperatorKind::Sort,
+        OperatorKind::ZipWithId,
+        OperatorKind::Cache,
+        OperatorKind::Broadcast,
+        OperatorKind::RepeatLoop,
+        OperatorKind::LocalCallbackSink,
+    ];
+
+    /// Position of this kind inside the per-kind feature blocks.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn is_source(self) -> bool {
+        matches!(
+            self,
+            OperatorKind::TextFileSource
+                | OperatorKind::CollectionSource
+                | OperatorKind::TableSource
+        )
+    }
+
+    pub fn is_sink(self) -> bool {
+        matches!(self, OperatorKind::LocalCallbackSink)
+    }
+
+    /// Default output/input tuple ratio used by cardinality propagation.
+    pub fn default_selectivity(self) -> f64 {
+        match self {
+            OperatorKind::TextFileSource
+            | OperatorKind::CollectionSource
+            | OperatorKind::TableSource => 1.0,
+            OperatorKind::Map | OperatorKind::MapPartitions | OperatorKind::ZipWithId => 1.0,
+            OperatorKind::FlatMap => 4.0,
+            OperatorKind::Filter => 0.4,
+            OperatorKind::Sample => 0.1,
+            OperatorKind::Distinct => 0.6,
+            OperatorKind::ReduceByKey | OperatorKind::GroupByKey => 0.2,
+            OperatorKind::Aggregate | OperatorKind::GlobalReduce | OperatorKind::Count => 1e-6,
+            OperatorKind::Join => 0.05,
+            OperatorKind::CartesianProduct => 10.0,
+            OperatorKind::Union => 1.0,
+            OperatorKind::Intersect => 0.3,
+            OperatorKind::Sort => 1.0,
+            OperatorKind::Cache | OperatorKind::Broadcast => 1.0,
+            OperatorKind::RepeatLoop => 1.0,
+            OperatorKind::LocalCallbackSink => 0.0,
+        }
+    }
+
+    /// Default tuple width (bytes) of this kind's output.
+    pub fn default_tuple_width(self) -> f64 {
+        match self {
+            OperatorKind::TextFileSource => 120.0,
+            OperatorKind::CollectionSource => 32.0,
+            OperatorKind::TableSource => 64.0,
+            OperatorKind::FlatMap => 24.0,
+            OperatorKind::Join | OperatorKind::CartesianProduct => 96.0,
+            OperatorKind::Count | OperatorKind::GlobalReduce | OperatorKind::Aggregate => 16.0,
+            _ => 48.0,
+        }
+    }
+}
+
+/// A logical operator instance inside a [`crate::LogicalPlan`].
+#[derive(Debug, Clone, Copy)]
+pub struct Operator {
+    pub kind: OperatorKind,
+    /// Output tuple width in bytes.
+    pub tuple_width: f64,
+    /// Output/input tuple ratio.
+    pub selectivity: f64,
+    /// Estimated output cardinality for source operators; ignored otherwise.
+    pub source_cardinality: f64,
+}
+
+impl Operator {
+    pub fn new(kind: OperatorKind) -> Self {
+        Operator {
+            kind,
+            tuple_width: kind.default_tuple_width(),
+            selectivity: kind.default_selectivity(),
+            source_cardinality: 0.0,
+        }
+    }
+
+    /// A source operator producing `cardinality` tuples.
+    pub fn source(kind: OperatorKind, cardinality: f64) -> Self {
+        debug_assert!(kind.is_source());
+        Operator {
+            source_cardinality: cardinality,
+            ..Operator::new(kind)
+        }
+    }
+
+    pub fn with_selectivity(mut self, selectivity: f64) -> Self {
+        self.selectivity = selectivity;
+        self
+    }
+
+    pub fn with_tuple_width(mut self, width: f64) -> Self {
+        self.tuple_width = width;
+        self
+    }
+}

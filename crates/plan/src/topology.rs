@@ -1,0 +1,65 @@
+//! Topology analysis: pipeline vs. juncture structure and DAG depth.
+//!
+//! Used by enumeration statistics and the synthetic workload builders; the
+//! feature vector reads the per-operator juncture flag straight from the
+//! plan (see `robopt-core`).
+
+use crate::dag::LogicalPlan;
+
+/// Summary of a plan's shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Operators with fan-in or fan-out greater than one.
+    pub juncture_ops: usize,
+    /// Operators on straight-line pipeline segments (complement of junctures).
+    pub pipeline_ops: usize,
+    /// Longest path length in operators.
+    pub depth: usize,
+}
+
+/// Compute the [`Topology`] of a plan.
+pub fn analyze(plan: &LogicalPlan) -> Topology {
+    let n = plan.n_ops();
+    let juncture_ops = (0..n as u32).filter(|&i| plan.is_juncture(i)).count();
+    // Longest path via relaxation to fixpoint (op ids are not guaranteed
+    // topological; n <= 128 keeps this cheap).
+    let mut depth = vec![0usize; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(u, v) in plan.edges() {
+            let cand = depth[u as usize] + 1;
+            if cand > depth[v as usize] {
+                depth[v as usize] = cand;
+                changed = true;
+            }
+        }
+    }
+    let best = depth.iter().copied().max().unwrap_or(0);
+    Topology {
+        juncture_ops,
+        pipeline_ops: n - juncture_ops,
+        depth: best + usize::from(n > 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Operator, OperatorKind};
+
+    #[test]
+    fn pipeline_has_no_junctures_and_full_depth() {
+        let mut p = LogicalPlan::new();
+        let s = p.add_op(Operator::source(OperatorKind::TextFileSource, 10.0));
+        let m = p.add_op(Operator::new(OperatorKind::Map));
+        let k = p.add_op(Operator::new(OperatorKind::LocalCallbackSink));
+        p.connect(s, m);
+        p.connect(m, k);
+        p.seal();
+        let t = analyze(&p);
+        assert_eq!(t.juncture_ops, 0);
+        assert_eq!(t.pipeline_ops, 3);
+        assert_eq!(t.depth, 3);
+    }
+}

@@ -1,0 +1,194 @@
+//! Workload plan builders (Table II subset used by Fig 1) and synthetic
+//! plan generators for benchmarks and property tests.
+
+use crate::dag::LogicalPlan;
+use crate::op::{Operator, OperatorKind};
+use crate::rng::SplitMix64;
+
+/// WordCount: 6 operators (paper Fig 1, "WordCount (6 op.)").
+///
+/// TextFileSource -> FlatMap(split) -> Map(to pair) -> ReduceByKey ->
+/// Map(format) -> LocalCallbackSink.
+pub fn wordcount(input_tuples: f64) -> LogicalPlan {
+    let mut p = LogicalPlan::new();
+    let src = p.add_op(Operator::source(OperatorKind::TextFileSource, input_tuples));
+    let split = p.add_op(Operator::new(OperatorKind::FlatMap).with_selectivity(8.0));
+    let pair = p.add_op(Operator::new(OperatorKind::Map));
+    let reduce = p.add_op(Operator::new(OperatorKind::ReduceByKey).with_selectivity(0.1));
+    let fmt = p.add_op(Operator::new(OperatorKind::Map));
+    let sink = p.add_op(Operator::new(OperatorKind::LocalCallbackSink));
+    p.connect(src, split);
+    p.connect(split, pair);
+    p.connect(pair, reduce);
+    p.connect(reduce, fmt);
+    p.connect(fmt, sink);
+    p.seal();
+    p
+}
+
+/// TPC-H Q3: 17 operators (paper Fig 1, "TPC-H Q3 (17 op.)").
+///
+/// Three scans (customer, orders, lineitem), per-table filter + projection,
+/// two joins, projection, group-by + aggregate, sort, sink.
+pub fn tpch_q3(scale_tuples: f64) -> LogicalPlan {
+    let mut p = LogicalPlan::new();
+    let customer = p.add_op(Operator::source(
+        OperatorKind::TableSource,
+        scale_tuples * 0.1,
+    ));
+    let c_filter = p.add_op(Operator::new(OperatorKind::Filter).with_selectivity(0.2));
+    let c_proj = p.add_op(Operator::new(OperatorKind::Map).with_tuple_width(16.0));
+    let orders = p.add_op(Operator::source(OperatorKind::TableSource, scale_tuples));
+    let o_filter = p.add_op(Operator::new(OperatorKind::Filter).with_selectivity(0.48));
+    let o_proj = p.add_op(Operator::new(OperatorKind::Map).with_tuple_width(32.0));
+    let lineitem = p.add_op(Operator::source(
+        OperatorKind::TableSource,
+        scale_tuples * 4.0,
+    ));
+    let l_filter = p.add_op(Operator::new(OperatorKind::Filter).with_selectivity(0.54));
+    let l_proj = p.add_op(Operator::new(OperatorKind::Map).with_tuple_width(40.0));
+    let join_co = p.add_op(Operator::new(OperatorKind::Join).with_selectivity(0.02));
+    let co_proj = p.add_op(Operator::new(OperatorKind::Map).with_tuple_width(40.0));
+    let join_col = p.add_op(Operator::new(OperatorKind::Join).with_selectivity(0.03));
+    let col_proj = p.add_op(Operator::new(OperatorKind::Map).with_tuple_width(48.0));
+    let group = p.add_op(Operator::new(OperatorKind::GroupByKey).with_selectivity(0.25));
+    let agg = p.add_op(Operator::new(OperatorKind::Aggregate).with_selectivity(1.0));
+    let sort = p.add_op(Operator::new(OperatorKind::Sort));
+    let sink = p.add_op(Operator::new(OperatorKind::LocalCallbackSink));
+    p.connect(customer, c_filter);
+    p.connect(c_filter, c_proj);
+    p.connect(orders, o_filter);
+    p.connect(o_filter, o_proj);
+    p.connect(lineitem, l_filter);
+    p.connect(l_filter, l_proj);
+    p.connect(c_proj, join_co);
+    p.connect(o_proj, join_co);
+    p.connect(join_co, co_proj);
+    p.connect(co_proj, join_col);
+    p.connect(l_proj, join_col);
+    p.connect(join_col, col_proj);
+    p.connect(col_proj, group);
+    p.connect(group, agg);
+    p.connect(agg, sort);
+    p.connect(sort, sink);
+    p.seal();
+    p
+}
+
+/// Synthetic straight pipeline with exactly `n` operators (paper Fig 1,
+/// "Synthetic (40 op.)"; also the Table-I pruning-shape plans).
+///
+/// Source, then `n - 2` alternating unary operators, then a sink.
+pub fn synthetic_pipeline(n: usize, input_tuples: f64) -> LogicalPlan {
+    assert!(n >= 2, "pipeline needs at least source + sink");
+    const BODY: [OperatorKind; 5] = [
+        OperatorKind::Map,
+        OperatorKind::Filter,
+        OperatorKind::FlatMap,
+        OperatorKind::Distinct,
+        OperatorKind::Sort,
+    ];
+    let mut p = LogicalPlan::new();
+    let mut prev = p.add_op(Operator::source(OperatorKind::TextFileSource, input_tuples));
+    for i in 0..n - 2 {
+        // Keep cardinalities bounded: follow every FlatMap blow-up with
+        // shrinking kinds further along the rotation.
+        let kind = BODY[i % BODY.len()];
+        let cur = p.add_op(Operator::new(kind).with_selectivity(match kind {
+            OperatorKind::FlatMap => 2.0,
+            OperatorKind::Filter => 0.5,
+            OperatorKind::Distinct => 0.7,
+            _ => 1.0,
+        }));
+        p.connect(prev, cur);
+        prev = cur;
+    }
+    let sink = p.add_op(Operator::new(OperatorKind::LocalCallbackSink));
+    p.connect(prev, sink);
+    p.seal();
+    assert_eq!(p.n_ops(), n);
+    p
+}
+
+/// Random *connected* DAG for property tests: every non-root operator gets
+/// one edge from an earlier operator (connectivity), plus extra forward
+/// edges with probability `extra_edge_prob`.
+pub fn random_connected_dag(rng: &mut SplitMix64, n: usize, extra_edge_prob: f64) -> LogicalPlan {
+    assert!(n >= 2);
+    const UNARY: [OperatorKind; 8] = [
+        OperatorKind::Map,
+        OperatorKind::Filter,
+        OperatorKind::FlatMap,
+        OperatorKind::Distinct,
+        OperatorKind::Sort,
+        OperatorKind::Sample,
+        OperatorKind::ReduceByKey,
+        OperatorKind::GroupByKey,
+    ];
+    const BINARY: [OperatorKind; 3] = [
+        OperatorKind::Join,
+        OperatorKind::Union,
+        OperatorKind::Intersect,
+    ];
+    let mut p = LogicalPlan::new();
+    let card = 1000.0 + rng.next_f64() * 1e6;
+    p.add_op(Operator::source(OperatorKind::TextFileSource, card));
+    let mut pending_edges: Vec<(u32, u32)> = Vec::new();
+    for i in 1..n {
+        let two_inputs = i >= 2 && rng.next_f64() < 0.3;
+        let kind = if i == n - 1 {
+            OperatorKind::LocalCallbackSink
+        } else if two_inputs {
+            BINARY[rng.gen_range(BINARY.len())]
+        } else {
+            UNARY[rng.gen_range(UNARY.len())]
+        };
+        let id = p.add_op(Operator::new(kind));
+        let first = rng.gen_range(i) as u32;
+        pending_edges.push((first, id));
+        if two_inputs {
+            let mut second = rng.gen_range(i) as u32;
+            if second == first {
+                second = (second + 1) % i as u32;
+            }
+            pending_edges.push((second, id));
+        } else if rng.next_f64() < extra_edge_prob {
+            let extra = rng.gen_range(i) as u32;
+            if extra != first {
+                pending_edges.push((extra, id));
+            }
+        }
+    }
+    pending_edges.sort_unstable();
+    pending_edges.dedup();
+    for (u, v) in pending_edges {
+        p.connect(u, v);
+    }
+    p.seal();
+    debug_assert!(p.is_connected());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_operator_counts_match_fig1() {
+        assert_eq!(wordcount(1e5).n_ops(), 6);
+        assert_eq!(tpch_q3(1e5).n_ops(), 17);
+        assert_eq!(synthetic_pipeline(40, 1e5).n_ops(), 40);
+    }
+
+    #[test]
+    fn random_dags_are_connected_and_sealed() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..50 {
+            let n = 2 + rng.gen_range(9);
+            let p = random_connected_dag(&mut rng, n, 0.3);
+            assert!(p.is_connected());
+            assert_eq!(p.n_ops(), n);
+            assert!(p.out_card().iter().all(|c| c.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! `robopt-platforms`: platform registry (Java/Spark/Flink/Postgres/Giraph),
+//! execution operators and availability matrix, channel and
+//! conversion-operator graphs (COT), and the analytic runtime simulator
+//! standing in for the 10-node cluster.
+//!
+//! **Stub** — lands in a later PR (see ROADMAP.md "Open items"). The
+//! enumeration fast path in `robopt-core` currently models platforms as
+//! dense ids `0..k` with a conversion cost via the analytic oracle.
+
+/// Placeholder platform identifier until the registry lands.
+pub type PlatformId = u8;
+
+/// Placeholder so dependents can reference the crate.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Placeholder;

@@ -1,0 +1,9 @@
+//! `robopt-tdgen`: the scalable training-data generator (TDGEN) — synthetic
+//! job shapes, operator population, platform-switch pruning (beta = 3), and
+//! piecewise degree-5 polynomial runtime interpolation.
+//!
+//! **Stub** — lands in a later PR (see ROADMAP.md "Open items").
+
+/// Placeholder so dependents can reference the crate.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Placeholder;

@@ -1,0 +1,95 @@
+//! Scope bitsets and Def-2 pruning footprints.
+//!
+//! A subplan's *pruning footprint* is the multiset of (boundary operator,
+//! platform) pairs — boundary operators are the operators of the scope with
+//! a dataflow edge to an operator outside the scope. Two subplans with equal
+//! footprints interact identically with the rest of the plan, so `prune`
+//! keeps only the cheapest row per footprint (lossless, Lemma 1). The
+//! footprint is hashed to a `u64` key with a SplitMix-style mixer; `prune`
+//! is then one hash-map pass.
+
+/// A subplan scope over at most 128 operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Scope(pub u128);
+
+impl Scope {
+    #[inline]
+    pub fn singleton(op: u32) -> Self {
+        Scope(1u128 << op)
+    }
+
+    #[inline]
+    pub fn contains(self, op: u32) -> bool {
+        self.0 & (1u128 << op) != 0
+    }
+
+    #[inline]
+    pub fn union(self, other: Scope) -> Scope {
+        Scope(self.0 | other.0)
+    }
+
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash the footprint of a row: `boundary_ops` must be in ascending op-id
+/// order (canonical form — Def. 2's sorted pair list) and `assign` is the
+/// row's full per-operator assignment array.
+#[inline]
+pub fn footprint_hash(boundary_ops: &[u32], assign: &[u8]) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &op in boundary_ops {
+        debug_assert!((op as usize) < assign.len());
+        let pair = ((op as u64) << 8) | assign[op as usize] as u64;
+        h = mix(h ^ pair).rotate_left(17) ^ h;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_ops() {
+        let s = Scope::singleton(3).union(Scope::singleton(100));
+        assert!(s.contains(3) && s.contains(100) && !s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(Scope::default().is_empty());
+    }
+
+    #[test]
+    fn footprint_depends_on_boundary_assignments_only() {
+        // Same boundary assignments, different interior assignment -> equal.
+        let a1 = [0u8, 1, 0, 1];
+        let a2 = [0u8, 0, 0, 1];
+        let boundary = [0u32, 3];
+        assert_eq!(
+            footprint_hash(&boundary, &a1),
+            footprint_hash(&boundary, &a2)
+        );
+        // Different boundary assignment -> different (w.h.p.).
+        let a3 = [1u8, 1, 0, 1];
+        assert_ne!(
+            footprint_hash(&boundary, &a1),
+            footprint_hash(&boundary, &a3)
+        );
+        // Order/identity of boundary ops matters.
+        assert_ne!(footprint_hash(&[0, 3], &a1), footprint_hash(&[0, 2], &a1));
+    }
+}

@@ -1,0 +1,185 @@
+//! `EnumMatrix`: row-major flat storage for plan-vector enumerations.
+//!
+//! One matrix holds every candidate (sub)plan of one enumeration unit:
+//! `rows × width` feature cells in a single `Vec<f64>`, a parallel flat
+//! `Vec<u8>` of per-operator platform assignments (the part `unvectorize`
+//! reads; never fed to the ML model), and per-row costs.
+//!
+//! Zero-allocation discipline: matrices are pooled and reused by the
+//! enumerator; every capacity growth bumps a global counter
+//! ([`alloc_events`]) so tests can assert that a warmed-up enumeration
+//! performs **no** per-subplan heap allocation on the merge/prune hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel for "operator not in this subplan's scope".
+pub const NO_PLATFORM: u8 = u8::MAX;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of `EnumMatrix` buffer growth events since process start.
+pub fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn note_growth(before: usize, after: usize) {
+    if after > before {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A flat, row-major enumeration matrix.
+#[derive(Debug, Default)]
+pub struct EnumMatrix {
+    width: usize,
+    n_ops: usize,
+    rows: usize,
+    feats: Vec<f64>,
+    assign: Vec<u8>,
+    costs: Vec<f64>,
+}
+
+impl EnumMatrix {
+    pub fn new() -> Self {
+        EnumMatrix::default()
+    }
+
+    /// Reset dimensions and drop all rows, keeping allocated capacity.
+    pub fn reset(&mut self, width: usize, n_ops: usize) {
+        self.width = width;
+        self.n_ops = n_ops;
+        self.rows = 0;
+        self.feats.clear();
+        self.assign.clear();
+        self.costs.clear();
+    }
+
+    /// Pre-reserve space for `rows` additional rows. Growth is counted.
+    pub fn reserve_rows(&mut self, rows: usize) {
+        let (bf, ba, bc) = (
+            self.feats.capacity(),
+            self.assign.capacity(),
+            self.costs.capacity(),
+        );
+        self.feats.reserve(rows * self.width);
+        self.assign.reserve(rows * self.n_ops);
+        self.costs.reserve(rows);
+        note_growth(bf, self.feats.capacity());
+        note_growth(ba, self.assign.capacity());
+        note_growth(bc, self.costs.capacity());
+    }
+
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Current feature-buffer capacity in cells (pool best-fit uses this).
+    #[inline]
+    pub fn feat_capacity(&self) -> usize {
+        self.feats.capacity()
+    }
+
+    #[inline]
+    pub fn n_ops(&self) -> usize {
+        self.n_ops
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.feats[r * self.width..(r + 1) * self.width]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.feats[r * self.width..(r + 1) * self.width]
+    }
+
+    #[inline]
+    pub fn assignments(&self, r: usize) -> &[u8] {
+        &self.assign[r * self.n_ops..(r + 1) * self.n_ops]
+    }
+
+    #[inline]
+    pub fn cost(&self, r: usize) -> f64 {
+        self.costs[r]
+    }
+
+    /// Append a row; returns its index. Growth (if capacity was not
+    /// pre-reserved) is counted as an allocation event.
+    pub fn push_row(&mut self, feats: &[f64], assign: &[u8], cost: f64) -> usize {
+        debug_assert_eq!(feats.len(), self.width);
+        debug_assert_eq!(assign.len(), self.n_ops);
+        let (bf, ba, bc) = (
+            self.feats.capacity(),
+            self.assign.capacity(),
+            self.costs.capacity(),
+        );
+        self.feats.extend_from_slice(feats);
+        self.assign.extend_from_slice(assign);
+        self.costs.push(cost);
+        note_growth(bf, self.feats.capacity());
+        note_growth(ba, self.assign.capacity());
+        note_growth(bc, self.costs.capacity());
+        let r = self.rows;
+        self.rows += 1;
+        r
+    }
+
+    /// Overwrite row `r` in place (the keep-min side of `prune`).
+    pub fn overwrite_row(&mut self, r: usize, feats: &[f64], assign: &[u8], cost: f64) {
+        debug_assert!(r < self.rows);
+        self.feats[r * self.width..(r + 1) * self.width].copy_from_slice(feats);
+        self.assign[r * self.n_ops..(r + 1) * self.n_ops].copy_from_slice(assign);
+        self.costs[r] = cost;
+    }
+
+    /// Index of the minimum-cost row, if any.
+    pub fn min_cost_row(&self) -> Option<usize> {
+        (0..self.rows).min_by(|&a, &b| self.costs[a].total_cmp(&self.costs[b]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_overwrite_roundtrip() {
+        let mut m = EnumMatrix::new();
+        m.reset(3, 2);
+        m.reserve_rows(2);
+        let r0 = m.push_row(&[1.0, 2.0, 3.0], &[0, NO_PLATFORM], 9.0);
+        let r1 = m.push_row(&[4.0, 5.0, 6.0], &[NO_PLATFORM, 1], 2.0);
+        assert_eq!((r0, r1), (0, 1));
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.assignments(1), &[NO_PLATFORM, 1]);
+        assert_eq!(m.min_cost_row(), Some(1));
+        m.overwrite_row(1, &[7.0, 8.0, 9.0], &[NO_PLATFORM, 0], 1.0);
+        assert_eq!(m.row(1), &[7.0, 8.0, 9.0]);
+        assert_eq!(m.cost(1), 1.0);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_prereserved_pushes_do_not_allocate() {
+        let mut m = EnumMatrix::new();
+        m.reset(4, 3);
+        m.reserve_rows(16);
+        for _ in 0..16 {
+            m.push_row(&[0.0; 4], &[NO_PLATFORM; 3], 0.0);
+        }
+        m.reset(4, 3);
+        let before = alloc_events();
+        m.reserve_rows(16);
+        for _ in 0..16 {
+            m.push_row(&[1.0; 4], &[0; 3], 1.0);
+        }
+        assert_eq!(alloc_events(), before, "warm reuse must not grow buffers");
+    }
+}

@@ -1,0 +1,67 @@
+//! The `merge` kernel (paper Section IV-D; DESIGN §5).
+//!
+//! Merging two subplan vectors is one fused loop of `f64` adds over the
+//! whole row — auto-vectorizable — followed by patching the two exception
+//! cells, which combine by `max` instead of `+` (maximum output cardinality
+//! and maximum tuple width). Assignment arrays combine by taking whichever
+//! side covers each operator; merged scopes are disjoint by construction.
+
+use crate::layout::FeatureLayout;
+use crate::matrix::NO_PLATFORM;
+
+/// `dst = a + b` cell-wise, with the two max cells taking `max(a, b)`.
+#[inline]
+pub fn merge_feats(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *d = x + y;
+    }
+    dst[FeatureLayout::MAX_OUT_CARD] =
+        a[FeatureLayout::MAX_OUT_CARD].max(b[FeatureLayout::MAX_OUT_CARD]);
+    dst[FeatureLayout::MAX_TUPLE_WIDTH] =
+        a[FeatureLayout::MAX_TUPLE_WIDTH].max(b[FeatureLayout::MAX_TUPLE_WIDTH]);
+}
+
+/// Combine disjoint assignment arrays: each operator is covered by at most
+/// one side.
+#[inline]
+pub fn merge_assignments(dst: &mut [u8], a: &[u8], b: &[u8]) {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        debug_assert!(x == NO_PLATFORM || y == NO_PLATFORM, "overlapping scopes");
+        *d = if x != NO_PLATFORM { x } else { y };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_cells_and_maxes_exception_cells() {
+        let l = FeatureLayout::new(2, 4);
+        let mut a = vec![1.0; l.width];
+        let mut b = vec![2.0; l.width];
+        a[FeatureLayout::MAX_OUT_CARD] = 100.0;
+        b[FeatureLayout::MAX_OUT_CARD] = 7.0;
+        a[FeatureLayout::MAX_TUPLE_WIDTH] = 8.0;
+        b[FeatureLayout::MAX_TUPLE_WIDTH] = 64.0;
+        let mut d = vec![0.0; l.width];
+        merge_feats(&mut d, &a, &b);
+        assert_eq!(d[FeatureLayout::OP_COUNT], 3.0);
+        assert_eq!(d[FeatureLayout::MAX_OUT_CARD], 100.0);
+        assert_eq!(d[FeatureLayout::MAX_TUPLE_WIDTH], 64.0);
+        assert!(d[4..].iter().all(|&c| c == 3.0));
+    }
+
+    #[test]
+    fn assignments_take_the_covering_side() {
+        let a = [0, NO_PLATFORM, NO_PLATFORM];
+        let b = [NO_PLATFORM, 1, NO_PLATFORM];
+        let mut d = [0u8; 3];
+        merge_assignments(&mut d, &a, &b);
+        assert_eq!(d, [0, 1, NO_PLATFORM]);
+    }
+}

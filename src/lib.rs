@@ -1,0 +1,36 @@
+//! `robopt-repro`: reproduction of *ML-based Cross-Platform Query
+//! Optimization* (Robopt, ICDE 2020) in Rust.
+//!
+//! The headline contribution reproduced here is **vector-based plan
+//! enumeration**: the optimizer enumerates over flat `f64` feature-vector
+//! matrices ([`robopt_vector`]) instead of object subplan graphs, so the
+//! ML cost model reads its input for free and the hot loop is primitive
+//! array arithmetic. See `DESIGN.md` for the full architecture and
+//! `EXPERIMENTS.md` for the figure-by-figure reproduction status.
+//!
+//! Crate map (re-exported below):
+//!
+//! * [`robopt_plan`] — logical operators, dataflow DAGs, workloads;
+//! * [`robopt_vector`] — Fig-5 layout, `EnumMatrix`, merge kernel,
+//!   pruning footprints;
+//! * [`robopt_core`] — vectorize / enumerate / unvectorize (Algorithm 1);
+//! * [`robopt_baselines`] — object-graph "Rheem-ML" foil, exhaustive search;
+//! * [`robopt_platforms`], [`robopt_engine`], [`robopt_ml`],
+//!   [`robopt_tdgen`], [`robopt_cli`] — stubs landing in later PRs.
+
+pub use robopt_baselines as baselines;
+pub use robopt_cli as cli;
+pub use robopt_core as core;
+pub use robopt_engine as engine;
+pub use robopt_ml as ml;
+pub use robopt_plan as plan;
+pub use robopt_platforms as platforms;
+pub use robopt_tdgen as tdgen;
+pub use robopt_vector as vector;
+
+/// Convenience prelude for examples and tests.
+pub mod prelude {
+    pub use robopt_core::{AnalyticOracle, CostOracle, EnumOptions, EnumStats, Enumerator};
+    pub use robopt_plan::{workloads, LogicalPlan, Operator, OperatorKind, SplitMix64};
+    pub use robopt_vector::{EnumMatrix, FeatureLayout, Scope};
+}

@@ -1,0 +1,57 @@
+//! Zero-allocation guarantee of the hot path (DESIGN §5, acceptance
+//! criterion): after a warm-up run, `merge`/`prune` perform **no**
+//! `EnumMatrix` buffer growth — every candidate subplan is written into
+//! pooled, pre-reserved flat buffers.
+//!
+//! Single test in its own binary: `robopt_vector::alloc_events` is a
+//! process-global counter, so it must not race with unrelated tests.
+
+use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
+use robopt_plan::{workloads, N_OPERATOR_KINDS};
+use robopt_vector::FeatureLayout;
+
+#[test]
+fn warmed_enumerator_performs_no_matrix_allocation() {
+    let plan = workloads::synthetic_pipeline(40, 1e5);
+    let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
+    let oracle = AnalyticOracle::for_layout(&layout);
+    let opts = EnumOptions {
+        n_platforms: 2,
+        prune: true,
+    };
+    let mut enumerator = Enumerator::new();
+
+    // Warm-up: pools and scratch buffers grow to a fixpoint (pool matrices
+    // are picked best-fit, so this settles within a few runs).
+    let (cold, _) = enumerator.enumerate(&plan, &layout, &oracle, opts);
+    for warmup in 0.. {
+        assert!(warmup < 16, "pool capacities failed to stabilize");
+        let before = robopt_vector::alloc_events();
+        enumerator.enumerate(&plan, &layout, &oracle, opts);
+        if robopt_vector::alloc_events() == before {
+            break;
+        }
+    }
+
+    let before = robopt_vector::alloc_events();
+    let mut warm_cost = 0.0;
+    for _ in 0..5 {
+        let (exec, stats) = enumerator.enumerate(&plan, &layout, &oracle, opts);
+        warm_cost = exec.cost;
+        assert!(stats.generated > 0);
+    }
+    let grown = robopt_vector::alloc_events() - before;
+    assert_eq!(
+        grown, 0,
+        "hot path grew EnumMatrix buffers {grown} times after warm-up — \
+         per-subplan allocation has crept back in"
+    );
+    assert_eq!(cold.cost, warm_cost, "reused buffers changed the optimum");
+
+    // Sanity: the counter does observe genuine growth.
+    let mut m = robopt_vector::EnumMatrix::new();
+    m.reset(8, 4);
+    let pre = robopt_vector::alloc_events();
+    m.reserve_rows(1024);
+    assert!(robopt_vector::alloc_events() > pre);
+}

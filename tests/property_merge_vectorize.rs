@@ -1,0 +1,92 @@
+//! Property (a), DESIGN §4: incremental `merge` of subplan vectors equals
+//! whole-plan `vectorize` on random DAGs.
+//!
+//! Seeded randomized testing is the offline stand-in for proptest: 96 random
+//! connected DAGs, random platform counts, random assignments, and a random
+//! merge order (including merges of not-yet-adjacent units — the kernel must
+//! be correct for any contraction order).
+
+use robopt_core::vectorize::{add_conversion_features, fill_singleton, vectorize_assignment};
+use robopt_plan::{workloads, SplitMix64, N_OPERATOR_KINDS};
+use robopt_vector::merge::{merge_assignments, merge_feats};
+use robopt_vector::{FeatureLayout, Scope, NO_PLATFORM};
+
+#[test]
+fn incremental_merge_equals_whole_plan_vectorize() {
+    let mut rng = SplitMix64::new(0xF16_0001);
+    for case in 0..96 {
+        let n = 3 + rng.gen_range(10);
+        let k = 2 + rng.gen_range(3);
+        let plan = workloads::random_connected_dag(&mut rng, n, 0.35);
+        let layout = FeatureLayout::new(k, N_OPERATOR_KINDS);
+        let assign: Vec<u8> = (0..n).map(|_| rng.gen_range(k) as u8).collect();
+
+        // Ground truth: one-shot whole-plan encoding.
+        let mut expected = Vec::new();
+        vectorize_assignment(&plan, &layout, &assign, &mut expected);
+
+        // Incremental: singleton vectors, then merge units in random order,
+        // adding conversion features for edges crossing the merged scopes.
+        struct Unit {
+            scope: Scope,
+            feats: Vec<f64>,
+            assign: Vec<u8>,
+        }
+        let mut units: Vec<Unit> = (0..n as u32)
+            .map(|op| {
+                let mut feats = vec![0.0; layout.width];
+                fill_singleton(&plan, &layout, op, assign[op as usize], &mut feats);
+                let mut a = vec![NO_PLATFORM; n];
+                a[op as usize] = assign[op as usize];
+                Unit {
+                    scope: Scope::singleton(op),
+                    feats,
+                    assign: a,
+                }
+            })
+            .collect();
+        while units.len() > 1 {
+            let i = rng.gen_range(units.len());
+            let mut j = rng.gen_range(units.len());
+            if i == j {
+                j = (j + 1) % units.len();
+            }
+            let (lo, hi) = (i.min(j), i.max(j));
+            let b = units.swap_remove(hi);
+            let a = units.swap_remove(lo);
+            let mut feats = vec![0.0; layout.width];
+            let mut merged_assign = vec![NO_PLATFORM; n];
+            merge_feats(&mut feats, &a.feats, &b.feats);
+            merge_assignments(&mut merged_assign, &a.assign, &b.assign);
+            for &(u, v) in plan.edges() {
+                let crosses = (a.scope.contains(u) && b.scope.contains(v))
+                    || (b.scope.contains(u) && a.scope.contains(v));
+                if crosses {
+                    add_conversion_features(
+                        &plan,
+                        &layout,
+                        u,
+                        v,
+                        merged_assign[u as usize],
+                        merged_assign[v as usize],
+                        &mut feats,
+                    );
+                }
+            }
+            units.push(Unit {
+                scope: a.scope.union(b.scope),
+                feats,
+                assign: merged_assign,
+            });
+        }
+        let got = &units[0];
+        assert_eq!(got.assign, assign, "case {case}: assignment mismatch");
+        for (cell, (&g, &e)) in got.feats.iter().zip(&expected).enumerate() {
+            let tol = 1e-12 * e.abs().max(1.0);
+            assert!(
+                (g - e).abs() <= tol,
+                "case {case} (n={n}, k={k}): cell {cell} differs: incremental {g} vs whole-plan {e}"
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Property (b), DESIGN §4 (Lemma 1): boundary pruning is lossless —
+//! priority enumeration with Def-2 pruning returns the same optimal cost as
+//! exhaustive enumeration under the analytic oracle, on random DAGs.
+//!
+//! Also cross-checks the object-graph baseline: all three enumerators must
+//! land on the same optimum, or the Fig-1 comparison would not be
+//! apples-to-apples.
+
+use robopt_baselines::{exhaustive_best, ObjectEnumerator};
+use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
+use robopt_plan::{workloads, SplitMix64, N_OPERATOR_KINDS};
+use robopt_vector::FeatureLayout;
+
+#[test]
+fn pruned_priority_enumeration_matches_exhaustive_optimum() {
+    let mut rng = SplitMix64::new(0x10551E55);
+    let mut vector_enum = Enumerator::new();
+    let mut object_enum = ObjectEnumerator::new();
+    for case in 0..48 {
+        let n = 3 + rng.gen_range(5); // 3..=7 operators
+        let k = 2 + rng.gen_range(2); // 2..=3 platforms -> k^n <= 2187
+        let plan = workloads::random_connected_dag(&mut rng, n, 0.4);
+        let layout = FeatureLayout::new(k, N_OPERATOR_KINDS);
+        let oracle = AnalyticOracle::for_layout(&layout);
+
+        let brute = exhaustive_best(&plan, &layout, &oracle, k as u8);
+        let (pruned, stats) = vector_enum.enumerate(
+            &plan,
+            &layout,
+            &oracle,
+            EnumOptions {
+                n_platforms: k as u8,
+                prune: true,
+            },
+        );
+        let object = object_enum.enumerate(&plan, &layout, &oracle, k as u8);
+
+        let tol = 1e-9 * brute.cost.abs().max(1.0);
+        assert!(
+            (pruned.cost - brute.cost).abs() <= tol,
+            "case {case} (n={n}, k={k}): pruned {} != exhaustive {}",
+            pruned.cost,
+            brute.cost
+        );
+        assert!(
+            (object.cost - brute.cost).abs() <= tol,
+            "case {case} (n={n}, k={k}): object {} != exhaustive {}",
+            object.cost,
+            brute.cost
+        );
+        assert_eq!(stats.merges as usize, n - 1, "case {case}: merge count");
+        // The pruned assignment must cost exactly what the enumerator claims.
+        let mut feats = Vec::new();
+        robopt_core::vectorize::vectorize_assignment(
+            &plan,
+            &layout,
+            &pruned.assignments,
+            &mut feats,
+        );
+        let recost = robopt_core::CostOracle::cost_row(&oracle, &feats);
+        assert!(
+            (recost - pruned.cost).abs() <= tol,
+            "case {case}: unvectorize cost drift"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Table-I shape: with Def-2 boundary pruning, the number of enumerated
+//! subplans on pipeline plans grows ~n·k², while the unpruned search space
+//! grows k^n — for (n, k) in {5, 20} × {2..5}.
+//!
+//! On a pipeline, any contiguous segment has at most two boundary
+//! operators, so pruning keeps at most k² rows per unit; summing over the
+//! n·k singletons and n−1 merge results bounds the retained subplans by
+//! n·k + (n−1)·k².
+
+use robopt_baselines::exhaustive_count;
+use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
+use robopt_plan::{workloads, N_OPERATOR_KINDS};
+use robopt_vector::FeatureLayout;
+
+#[test]
+fn pruned_counts_grow_n_k_squared_exhaustive_grows_k_to_n() {
+    let mut enumerator = Enumerator::new();
+    for n in [5usize, 20] {
+        for k in 2usize..=5 {
+            let plan = workloads::synthetic_pipeline(n, 1e5);
+            let layout = FeatureLayout::new(k, N_OPERATOR_KINDS);
+            let oracle = AnalyticOracle::for_layout(&layout);
+            let (_, stats) = enumerator.enumerate(
+                &plan,
+                &layout,
+                &oracle,
+                EnumOptions {
+                    n_platforms: k as u8,
+                    prune: true,
+                },
+            );
+            let bound = (n * k + (n - 1) * k * k) as u64;
+            assert!(
+                stats.kept <= bound,
+                "(n={n}, k={k}): kept {} exceeds n*k + (n-1)*k^2 = {bound}",
+                stats.kept
+            );
+            // Non-trivial: at least the singletons plus one row per merge.
+            assert!(stats.kept >= (n * k + n - 1) as u64);
+            // No single unit ever exceeds k^2 rows on a pipeline.
+            assert!(
+                stats.peak_rows <= (k * k) as u64,
+                "(n={n}, k={k}): peak {}",
+                stats.peak_rows
+            );
+
+            let space = exhaustive_count(n, k);
+            assert_eq!(space, (k as u128).pow(n as u32));
+            // The pruned count is polynomial while the space is exponential:
+            // already at n=20, k=2 the gap is  > 1000x and explodes with k.
+            if n == 20 {
+                assert!(
+                    (stats.kept as u128) * 1000 < space,
+                    "(n={n}, k={k}): pruning did not tame the k^n space"
+                );
+            }
+        }
+    }
+}
