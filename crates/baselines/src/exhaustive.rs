@@ -4,7 +4,11 @@
 use robopt_core::vectorize::{vectorize_assignment, ExecutionPlan};
 use robopt_core::CostOracle;
 use robopt_plan::LogicalPlan;
-use robopt_vector::FeatureLayout;
+use robopt_platforms::{PlatformId, PlatformRegistry};
+use robopt_vector::{FeatureLayout, RowsView};
+
+/// Rows costed per batched oracle call during the exhaustive sweep.
+const BATCH_ROWS: usize = 256;
 
 /// Size of the unpruned search space: `k^n` (may far exceed `u64` for the
 /// Table-I (20, 5) point, hence `u128`).
@@ -12,16 +16,38 @@ pub fn exhaustive_count(n_ops: usize, n_platforms: usize) -> u128 {
     (n_platforms as u128).pow(n_ops as u32)
 }
 
-/// Cost every one of the `k^n` full assignments and return the optimum.
-/// Buffers are reused across candidates; guarded to small plans.
+/// Is `assign` executable under `registry`? Every operator must be available
+/// on its platform and every dataflow edge's platform pair convertible.
+fn feasible(plan: &LogicalPlan, registry: &PlatformRegistry, assign: &[u8]) -> bool {
+    for op in 0..plan.n_ops() as u32 {
+        let p = PlatformId::from_index(assign[op as usize] as usize);
+        if !registry.is_available(plan.op(op).kind, p) {
+            return false;
+        }
+    }
+    plan.edges().iter().all(|&(u, v)| {
+        let (pu, pv) = (assign[u as usize], assign[v as usize]);
+        pu == pv
+            || registry.convertible(
+                PlatformId::from_index(pu as usize),
+                PlatformId::from_index(pv as usize),
+            )
+    })
+}
+
+/// Cost every feasible one of the `k^n` full assignments (availability and
+/// conversion feasibility come from `registry`) and return the optimum.
+/// Candidates are costed in batches of `BATCH_ROWS` rows through
+/// [`CostOracle::cost_batch`]; guarded to small plans.
 pub fn exhaustive_best(
     plan: &LogicalPlan,
     layout: &FeatureLayout,
     oracle: &dyn CostOracle,
-    n_platforms: u8,
+    registry: &PlatformRegistry,
 ) -> ExecutionPlan {
     let n = plan.n_ops();
-    let k = n_platforms as usize;
+    let k = registry.len();
+    assert_eq!(layout.n_platforms, k);
     let total = exhaustive_count(n, k);
     assert!(
         total <= 1 << 22,
@@ -29,14 +55,43 @@ pub fn exhaustive_best(
     );
     let mut assign = vec![0u8; n];
     let mut feats: Vec<f64> = Vec::new();
+    let mut batch: Vec<f64> = Vec::with_capacity(BATCH_ROWS * layout.width);
+    let mut batch_assign: Vec<u8> = Vec::with_capacity(BATCH_ROWS * n);
+    let mut costs: Vec<f64> = Vec::new();
     let mut best_cost = f64::INFINITY;
-    let mut best_assign = assign.clone();
+    let mut best_assign: Option<Vec<u8>> = None;
+
+    let mut flush = |batch: &mut Vec<f64>,
+                     batch_assign: &mut Vec<u8>,
+                     best_cost: &mut f64,
+                     best_assign: &mut Option<Vec<u8>>| {
+        if batch.is_empty() {
+            return;
+        }
+        oracle.cost_batch(RowsView::new(batch, layout.width), &mut costs);
+        for (r, &cost) in costs.iter().enumerate() {
+            if cost < *best_cost {
+                *best_cost = cost;
+                *best_assign = Some(batch_assign[r * n..(r + 1) * n].to_vec());
+            }
+        }
+        batch.clear();
+        batch_assign.clear();
+    };
+
     for _ in 0..total {
-        vectorize_assignment(plan, layout, &assign, &mut feats);
-        let cost = oracle.cost_row(&feats);
-        if cost < best_cost {
-            best_cost = cost;
-            best_assign.copy_from_slice(&assign);
+        if feasible(plan, registry, &assign) {
+            vectorize_assignment(plan, layout, &assign, &mut feats);
+            batch.extend_from_slice(&feats);
+            batch_assign.extend_from_slice(&assign);
+            if batch.len() >= BATCH_ROWS * layout.width {
+                flush(
+                    &mut batch,
+                    &mut batch_assign,
+                    &mut best_cost,
+                    &mut best_assign,
+                );
+            }
         }
         // Odometer increment in base k.
         for slot in assign.iter_mut() {
@@ -47,10 +102,14 @@ pub fn exhaustive_best(
             *slot = 0;
         }
     }
-    ExecutionPlan {
-        assignments: best_assign,
-        cost: best_cost,
-    }
+    flush(
+        &mut batch,
+        &mut batch_assign,
+        &mut best_cost,
+        &mut best_assign,
+    );
+    let best_assign = best_assign.expect("no feasible assignment under this registry");
+    ExecutionPlan::from_raw(&best_assign, best_cost)
 }
 
 #[cfg(test)]
@@ -69,18 +128,28 @@ mod tests {
     fn exhaustive_matches_pruned_enumeration_on_wordcount() {
         use robopt_core::{EnumOptions, Enumerator};
         let plan = workloads::wordcount(1e5);
+        let registry = PlatformRegistry::uniform(2);
         let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
-        let oracle = AnalyticOracle::for_layout(&layout);
-        let brute = exhaustive_best(&plan, &layout, &oracle, 2);
-        let (fast, _) = Enumerator::new().enumerate(
-            &plan,
-            &layout,
-            &oracle,
-            EnumOptions {
-                n_platforms: 2,
-                prune: true,
-            },
-        );
+        let oracle = AnalyticOracle::for_registry(&registry, &layout);
+        let brute = exhaustive_best(&plan, &layout, &oracle, &registry);
+        let (fast, _) =
+            Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
+        assert!((brute.cost - fast.cost).abs() <= 1e-9 * brute.cost.abs().max(1.0));
+    }
+
+    #[test]
+    fn exhaustive_respects_named_registry_feasibility() {
+        use robopt_core::{EnumOptions, Enumerator};
+        let plan = workloads::wordcount(1e5);
+        let registry = PlatformRegistry::named();
+        let layout = FeatureLayout::new(registry.len(), N_OPERATOR_KINDS);
+        let oracle = AnalyticOracle::for_registry(&registry, &layout);
+        let brute = exhaustive_best(&plan, &layout, &oracle, &registry);
+        for (op, &p) in brute.assignments.iter().enumerate() {
+            assert!(registry.is_available(plan.op(op as u32).kind, p));
+        }
+        let (fast, _) =
+            Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
         assert!((brute.cost - fast.cost).abs() <= 1e-9 * brute.cost.abs().max(1.0));
     }
 }

@@ -1,13 +1,15 @@
 //! The "Rheem-ML" strawman enumerator (paper Figs 1, 9a).
 //!
 //! Identical search to `robopt_core::Enumerator` — same Def-3 priority
-//! order, same crossing-edge conversion accounting, same Def-2 lossless
-//! boundary pruning, same [`CostOracle`] — but subplans are object graphs
+//! order, same registry-driven availability masking and conversion
+//! feasibility, same Def-2 lossless boundary pruning, same batched
+//! [`CostOracle`] entry point — but subplans are object graphs
 //! ([`ObjNode`]), and the ML cost model is treated as an external black
-//! box: every cost invocation walks the object graph and materializes a
-//! fresh feature vector (plan-to-vector transformation *at call time*).
-//! Comparing this against the vector-based enumerator isolates precisely
-//! the representation benefit the paper claims.
+//! box: every batch is assembled by walking the object graphs and
+//! materializing **fresh** feature vectors (plan-to-vector transformation
+//! at call time, fresh allocations per merge step). Comparing this against
+//! the vector-based enumerator isolates precisely the representation
+//! benefit the paper claims.
 
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -15,7 +17,8 @@ use std::rc::Rc;
 use robopt_core::vectorize::ExecutionPlan;
 use robopt_core::CostOracle;
 use robopt_plan::LogicalPlan;
-use robopt_vector::{footprint_hash, FeatureLayout, Scope, NO_PLATFORM};
+use robopt_platforms::{PlatformId, PlatformRegistry};
+use robopt_vector::{footprint_hash, FeatureLayout, RowsView, Scope, NO_PLATFORM};
 
 use crate::object_plan::ObjNode;
 
@@ -25,7 +28,7 @@ struct ObjUnit {
     plans: Vec<(Rc<ObjNode>, f64)>,
 }
 
-/// Object-graph enumerator with per-call plan-to-vector transformation.
+/// Object-graph enumerator with per-batch plan-to-vector transformation.
 #[derive(Default)]
 pub struct ObjectEnumerator;
 
@@ -37,12 +40,7 @@ impl ObjectEnumerator {
     /// The per-invocation plan-to-vector transformation: walk the object
     /// graph, materialize placements, then encode the Fig-5 cells. All
     /// buffers are freshly allocated — that is the point of the strawman.
-    fn cost_object(
-        plan: &LogicalPlan,
-        layout: &FeatureLayout,
-        oracle: &dyn CostOracle,
-        node: &ObjNode,
-    ) -> f64 {
+    fn features_of(plan: &LogicalPlan, layout: &FeatureLayout, node: &ObjNode) -> Vec<f64> {
         let mut placements: Vec<(u32, u8)> = Vec::new();
         node.collect_into(&mut placements);
         let mut assign = vec![NO_PLATFORM; plan.n_ops()];
@@ -73,7 +71,7 @@ impl ObjectEnumerator {
                 feats[layout.conversion_tuples(pv as usize)] += plan.out_card()[u as usize];
             }
         }
-        oracle.cost_row(&feats)
+        feats
     }
 
     fn boundary_of(plan: &LogicalPlan, scope: Scope) -> Vec<u32> {
@@ -89,29 +87,36 @@ impl ObjectEnumerator {
             .collect()
     }
 
-    /// Run the enumeration; result matches the vector enumerator's optimum.
+    /// Run the enumeration; result matches the vector enumerator's optimum
+    /// over the same registry.
     pub fn enumerate(
         &mut self,
         plan: &LogicalPlan,
         layout: &FeatureLayout,
         oracle: &dyn CostOracle,
-        n_platforms: u8,
+        registry: &PlatformRegistry,
     ) -> ExecutionPlan {
         let n = plan.n_ops();
-        let k = n_platforms as usize;
         assert!(plan.is_connected());
+        assert_eq!(layout.n_platforms, registry.len());
         let mut units: Vec<Option<ObjUnit>> = (0..n as u32)
             .map(|op| {
-                let plans = (0..k as u8)
-                    .map(|p| {
-                        let node = ObjNode::leaf(op, p);
-                        let cost = Self::cost_object(plan, layout, oracle, &node);
-                        (node, cost)
-                    })
+                // Availability masking: one singleton per permitted platform,
+                // costed through the batched black-box entry point (fresh
+                // batch buffer, as everywhere in the strawman).
+                let nodes: Vec<Rc<ObjNode>> = registry
+                    .available_platforms(plan.op(op).kind)
+                    .map(|p| ObjNode::leaf(op, p.raw()))
                     .collect();
+                let mut batch: Vec<f64> = Vec::new();
+                for node in &nodes {
+                    batch.extend_from_slice(&Self::features_of(plan, layout, node));
+                }
+                let mut costs = Vec::new();
+                oracle.cost_batch(RowsView::new(&batch, layout.width), &mut costs);
                 Some(ObjUnit {
                     scope: Scope::singleton(op),
-                    plans,
+                    plans: nodes.into_iter().zip(costs).collect(),
                 })
             })
             .collect();
@@ -149,34 +154,62 @@ impl ObjectEnumerator {
             let b = units[rb as usize].take().unwrap();
             let merged_scope = a.scope.union(b.scope);
             let boundary = Self::boundary_of(plan, merged_scope);
+            let crossing: Vec<(u32, u32)> = plan
+                .edges()
+                .iter()
+                .copied()
+                .filter(|&(u, v)| {
+                    (a.scope.contains(u) && b.scope.contains(v))
+                        || (b.scope.contains(u) && a.scope.contains(v))
+                })
+                .collect();
 
-            let mut fp_map: HashMap<u64, usize> = HashMap::new();
-            let mut merged: Vec<(Rc<ObjNode>, f64)> = Vec::new();
+            // Stage every feasible combination (fresh object graph + fresh
+            // feature vector each), then cost the batch in one call.
+            let mut staged: Vec<(Rc<ObjNode>, u64)> = Vec::new();
+            let mut batch: Vec<f64> = Vec::new();
             let mut assign_buf = vec![NO_PLATFORM; n];
             for (na, _) in &a.plans {
                 for (nb, _) in &b.plans {
-                    // Build the merged object subplan, then cost it through
-                    // the black-box model (object walk + fresh vector).
                     let node = ObjNode::merge(Rc::clone(na), Rc::clone(nb));
-                    let cost = Self::cost_object(plan, layout, oracle, &node);
-                    // Footprint also comes from the object graph.
                     let mut placements = Vec::new();
                     node.collect_into(&mut placements);
                     assign_buf.fill(NO_PLATFORM);
                     for &(op, p) in &placements {
                         assign_buf[op as usize] = p;
                     }
-                    let fp = footprint_hash(&boundary, &assign_buf);
-                    match fp_map.get(&fp) {
-                        Some(&idx) => {
-                            if cost < merged[idx].1 {
-                                merged[idx] = (node, cost);
-                            }
+                    // Conversion feasibility: exclude combinations whose
+                    // crossing edges have no COT path.
+                    let feasible = crossing.iter().all(|&(u, v)| {
+                        let (pu, pv) = (assign_buf[u as usize], assign_buf[v as usize]);
+                        pu == pv
+                            || registry.convertible(
+                                PlatformId::from_index(pu as usize),
+                                PlatformId::from_index(pv as usize),
+                            )
+                    });
+                    if !feasible {
+                        continue;
+                    }
+                    batch.extend_from_slice(&Self::features_of(plan, layout, &node));
+                    staged.push((node, footprint_hash(&boundary, &assign_buf)));
+                }
+            }
+            let mut costs = Vec::new();
+            oracle.cost_batch(RowsView::new(&batch, layout.width), &mut costs);
+
+            let mut fp_map: HashMap<u64, usize> = HashMap::new();
+            let mut merged: Vec<(Rc<ObjNode>, f64)> = Vec::new();
+            for ((node, fp), cost) in staged.into_iter().zip(costs) {
+                match fp_map.get(&fp) {
+                    Some(&idx) => {
+                        if cost < merged[idx].1 {
+                            merged[idx] = (node, cost);
                         }
-                        None => {
-                            fp_map.insert(fp, merged.len());
-                            merged.push((node, cost));
-                        }
+                    }
+                    None => {
+                        fp_map.insert(fp, merged.len());
+                        merged.push((node, cost));
                     }
                 }
             }
@@ -196,14 +229,11 @@ impl ObjectEnumerator {
             .expect("non-empty enumeration");
         let mut placements = Vec::new();
         best_node.collect_into(&mut placements);
-        let mut assignments = vec![NO_PLATFORM; n];
+        let mut raw = vec![NO_PLATFORM; n];
         for (op, p) in placements {
-            assignments[op as usize] = p;
+            raw[op as usize] = p;
         }
-        ExecutionPlan {
-            assignments,
-            cost: *best_cost,
-        }
+        ExecutionPlan::from_raw(&raw, *best_cost)
     }
 }
 
@@ -216,20 +246,28 @@ mod tests {
     #[test]
     fn object_enumerator_matches_vector_enumerator() {
         for plan in [workloads::wordcount(1e5), workloads::tpch_q3(1e4)] {
+            let registry = PlatformRegistry::uniform(2);
             let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
-            let oracle = AnalyticOracle::for_layout(&layout);
-            let (vec_exec, _) = Enumerator::new().enumerate(
-                &plan,
-                &layout,
-                &oracle,
-                EnumOptions {
-                    n_platforms: 2,
-                    prune: true,
-                },
-            );
-            let obj_exec = ObjectEnumerator::new().enumerate(&plan, &layout, &oracle, 2);
+            let oracle = AnalyticOracle::for_registry(&registry, &layout);
+            let (vec_exec, _) =
+                Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
+            let obj_exec = ObjectEnumerator::new().enumerate(&plan, &layout, &oracle, &registry);
             let tol = 1e-9 * vec_exec.cost.abs().max(1.0);
             assert!((vec_exec.cost - obj_exec.cost).abs() <= tol);
         }
+    }
+
+    #[test]
+    fn object_enumerator_matches_vector_enumerator_on_named_registry() {
+        let plan = workloads::wordcount(1e6);
+        let registry = PlatformRegistry::named();
+        let layout = FeatureLayout::new(registry.len(), N_OPERATOR_KINDS);
+        let oracle = AnalyticOracle::for_registry(&registry, &layout);
+        let (vec_exec, _) =
+            Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
+        let obj_exec = ObjectEnumerator::new().enumerate(&plan, &layout, &oracle, &registry);
+        let tol = 1e-9 * vec_exec.cost.abs().max(1.0);
+        assert!((vec_exec.cost - obj_exec.cost).abs() <= tol);
+        assert_eq!(vec_exec.assignments, obj_exec.assignments);
     }
 }

@@ -7,6 +7,7 @@ use robopt_baselines::ObjectEnumerator;
 use robopt_bench::bench;
 use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
 use robopt_plan::{workloads, N_OPERATOR_KINDS};
+use robopt_platforms::PlatformRegistry;
 use robopt_vector::merge::merge_feats;
 use robopt_vector::FeatureLayout;
 
@@ -19,12 +20,10 @@ fn report(name: &str, t: robopt_bench::Timing) {
 
 fn main() {
     // cargo passes flags like `--bench`; the harness has no options to parse.
+    let registry = PlatformRegistry::uniform(2);
     let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
-    let oracle = AnalyticOracle::for_layout(&layout);
-    let opts = EnumOptions {
-        n_platforms: 2,
-        prune: true,
-    };
+    let oracle = AnalyticOracle::for_registry(&registry, &layout);
+    let opts = EnumOptions::new(&registry);
 
     // Raw merge kernel: one fused add over a row pair.
     let a = vec![1.5f64; layout.width];
@@ -68,7 +67,7 @@ fn main() {
         report(
             name,
             bench(10, 101, || {
-                let exec = e.enumerate(&plan, &layout, &oracle, 2);
+                let exec = e.enumerate(&plan, &layout, &oracle, &registry);
                 std::hint::black_box(exec.cost);
             }),
         );

@@ -14,9 +14,10 @@ use robopt_baselines::ObjectEnumerator;
 use robopt_bench::{bench, repo_root};
 use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
 use robopt_plan::{workloads, LogicalPlan, N_OPERATOR_KINDS};
+use robopt_platforms::PlatformRegistry;
 use robopt_vector::FeatureLayout;
 
-const PLATFORMS: u8 = 2;
+const PLATFORMS: usize = 2;
 const WARMUP: usize = 20;
 const ITERS: usize = 101;
 
@@ -34,12 +35,10 @@ impl Row {
 }
 
 fn measure(task: &'static str, plan: &LogicalPlan) -> Row {
-    let layout = FeatureLayout::new(PLATFORMS as usize, N_OPERATOR_KINDS);
-    let oracle = AnalyticOracle::for_layout(&layout);
-    let opts = EnumOptions {
-        n_platforms: PLATFORMS,
-        prune: true,
-    };
+    let registry = PlatformRegistry::uniform(PLATFORMS);
+    let layout = FeatureLayout::new(PLATFORMS, N_OPERATOR_KINDS);
+    let oracle = AnalyticOracle::for_registry(&registry, &layout);
+    let opts = EnumOptions::new(&registry);
 
     let mut vector_enum = Enumerator::new();
     let vector_cost = vector_enum.enumerate(plan, &layout, &oracle, opts).0.cost;
@@ -50,10 +49,10 @@ fn measure(task: &'static str, plan: &LogicalPlan) -> Row {
 
     let mut object_enum = ObjectEnumerator::new();
     let object_cost = object_enum
-        .enumerate(plan, &layout, &oracle, PLATFORMS)
+        .enumerate(plan, &layout, &oracle, &registry)
         .cost;
     let object_t = bench(WARMUP, ITERS, || {
-        let exec = object_enum.enumerate(plan, &layout, &oracle, PLATFORMS);
+        let exec = object_enum.enumerate(plan, &layout, &oracle, &registry);
         std::hint::black_box(exec.cost);
     });
 

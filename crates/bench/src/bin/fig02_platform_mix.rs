@@ -1,0 +1,270 @@
+//! Fig 2: genuine cross-platform plans over the named five-platform
+//! registry (Java streams, Spark, Flink, Postgres, Giraph).
+//!
+//! For each workload the vector enumerator runs over
+//! [`PlatformRegistry::named`] — availability masking keeps operators off
+//! platforms that cannot execute them, and the registry's conversion graph
+//! (COT) prices every platform switch. The resulting optimum is compared
+//! against every *feasible* single-platform plan; the headline check is
+//! that on at least one workload the mixed plan strictly beats them all
+//! (the paper's core cross-platform claim). The deterministic runtime
+//! simulator reports the corresponding simulated wall-clock per plan.
+//! Writes `EXPERIMENTS_OUTPUT/fig02_platform_mix.txt` and
+//! `BENCH_platform_mix.json` at the repository root.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use robopt_bench::repo_root;
+use robopt_core::vectorize::vectorize_assignment;
+use robopt_core::{AnalyticOracle, CostOracle, EnumOptions, Enumerator, ExecutionPlan};
+use robopt_plan::{workloads, LogicalPlan, N_OPERATOR_KINDS};
+use robopt_platforms::{PlatformId, PlatformRegistry, RuntimeSimulator};
+use robopt_vector::FeatureLayout;
+
+const SIM_SEED: u64 = 42;
+
+struct SinglePlan {
+    name: String,
+    /// Oracle cost of the all-on-this-platform plan, `None` when the
+    /// availability matrix makes the platform infeasible for the workload.
+    cost: Option<f64>,
+    sim_s: Option<f64>,
+}
+
+struct Row {
+    task: &'static str,
+    ops: usize,
+    mixed: ExecutionPlan,
+    mix_desc: String,
+    mixed_sim_s: f64,
+    singles: Vec<SinglePlan>,
+}
+
+impl Row {
+    fn best_single(&self) -> Option<f64> {
+        self.singles
+            .iter()
+            .filter_map(|s| s.cost)
+            .min_by(f64::total_cmp)
+    }
+
+    fn beats_every_single(&self) -> bool {
+        self.mixed.distinct_platforms() >= 2
+            && self
+                .best_single()
+                .is_some_and(|best| self.mixed.cost < best * (1.0 - 1e-9))
+    }
+}
+
+/// Render the mixed assignment as `name:count` pairs in registry order.
+fn describe_mix(registry: &PlatformRegistry, exec: &ExecutionPlan) -> String {
+    let mut counts = vec![0usize; registry.len()];
+    for &p in &exec.assignments {
+        counts[p.index()] += 1;
+    }
+    let mut s = String::new();
+    for id in registry.ids() {
+        if counts[id.index()] > 0 {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            let _ = write!(s, "{}:{}", registry.platform(id).name, counts[id.index()]);
+        }
+    }
+    s
+}
+
+fn measure(task: &'static str, plan: &LogicalPlan, registry: &PlatformRegistry) -> Row {
+    let layout = FeatureLayout::new(registry.len(), N_OPERATOR_KINDS);
+    let oracle = AnalyticOracle::for_registry(registry, &layout);
+    let sim = RuntimeSimulator::new(registry, SIM_SEED);
+
+    let (mixed, _) =
+        Enumerator::new().enumerate(plan, &layout, &oracle, EnumOptions::new(registry));
+    let mixed_sim_s = sim.simulate(plan, &mixed.assignments);
+
+    let mut feats = Vec::new();
+    let singles = registry
+        .ids()
+        .map(|id| {
+            let feasible =
+                (0..plan.n_ops() as u32).all(|op| registry.is_available(plan.op(op).kind, id));
+            let (cost, sim_s) = if feasible {
+                let assign = vec![id.raw(); plan.n_ops()];
+                vectorize_assignment(plan, &layout, &assign, &mut feats);
+                let uniform: Vec<PlatformId> = vec![id; plan.n_ops()];
+                (
+                    Some(oracle.cost_row(&feats)),
+                    Some(sim.simulate(plan, &uniform)),
+                )
+            } else {
+                (None, None)
+            };
+            SinglePlan {
+                name: registry.platform(id).name.clone(),
+                cost,
+                sim_s,
+            }
+        })
+        .collect();
+
+    let mix_desc = describe_mix(registry, &mixed);
+    Row {
+        task,
+        ops: plan.n_ops(),
+        mixed,
+        mix_desc,
+        mixed_sim_s,
+        singles,
+    }
+}
+
+fn main() {
+    let registry = PlatformRegistry::named();
+    let rows = vec![
+        measure(
+            "WordCount small (1e5)",
+            &workloads::wordcount(1e5),
+            &registry,
+        ),
+        measure(
+            "WordCount large (1e7)",
+            &workloads::wordcount(1e7),
+            &registry,
+        ),
+        measure("TPC-H Q3 (1e6)", &workloads::tpch_q3(1e6), &registry),
+        measure(
+            "Synthetic (25 op., 1e6)",
+            &workloads::synthetic_pipeline(25, 1e6),
+            &registry,
+        ),
+    ];
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Fig 2: cross-platform plans over the named registry ({} platforms)",
+        registry.len()
+    );
+    for r in &rows {
+        let _ = writeln!(report);
+        let _ = writeln!(
+            report,
+            "{} [{} operators]  optimum: cost {:.3}, {} platform(s) ({}), simulated {:.2}s",
+            r.task,
+            r.ops,
+            r.mixed.cost,
+            r.mixed.distinct_platforms(),
+            r.mix_desc,
+            r.mixed_sim_s,
+        );
+        for s in &r.singles {
+            match (s.cost, s.sim_s) {
+                (Some(c), Some(t)) => {
+                    let _ = writeln!(
+                        report,
+                        "  all-{:<9} cost {:>12.3}  simulated {:>10.2}s{}",
+                        s.name,
+                        c,
+                        t,
+                        if r.mixed.cost < c * (1.0 - 1e-9) {
+                            "  (mixed wins)"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                _ => {
+                    let _ = writeln!(
+                        report,
+                        "  all-{:<9} infeasible (availability matrix)",
+                        s.name
+                    );
+                }
+            }
+        }
+    }
+
+    let winners: Vec<&Row> = rows.iter().filter(|r| r.beats_every_single()).collect();
+    let _ = writeln!(report);
+    let _ = writeln!(
+        report,
+        "CHECK mixed plan strictly beats every feasible single platform on >= 1 workload: {} \
+         ({} of {} workloads)",
+        if winners.is_empty() { "FAIL" } else { "PASS" },
+        winners.len(),
+        rows.len()
+    );
+    for r in &winners {
+        let best = r.best_single().unwrap();
+        let _ = writeln!(
+            report,
+            "  {}: mixed {:.3} vs best single {:.3} ({:.1}% cheaper, mix {})",
+            r.task,
+            r.mixed.cost,
+            best,
+            100.0 * (1.0 - r.mixed.cost / best),
+            r.mix_desc
+        );
+    }
+    let sane = rows.iter().all(|r| {
+        r.best_single()
+            .is_none_or(|best| r.mixed.cost <= best * (1.0 + 1e-9))
+    });
+    let _ = writeln!(
+        report,
+        "CHECK enumerated optimum never worse than any single platform: {}",
+        if sane { "PASS" } else { "FAIL" }
+    );
+    print!("{report}");
+
+    let root = repo_root();
+    fs::create_dir_all(root.join("EXPERIMENTS_OUTPUT")).expect("create EXPERIMENTS_OUTPUT");
+    fs::write(
+        root.join("EXPERIMENTS_OUTPUT/fig02_platform_mix.txt"),
+        &report,
+    )
+    .expect("write fig02 report");
+
+    // Hand-rendered JSON (offline environment: no serde_json).
+    let mut json = String::from("{\n  \"experiment\": \"fig02_platform_mix\",\n");
+    let _ = writeln!(json, "  \"platforms\": {},", registry.len());
+    let _ = writeln!(json, "  \"sim_seed\": {SIM_SEED},");
+    json.push_str("  \"entries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"task\": \"{}\", \"ops\": {}, \"mixed_cost\": {:.6}, \
+             \"distinct_platforms\": {}, \"mix\": \"{}\", \"mixed_sim_s\": {:.6}, \"singles\": {{",
+            r.task,
+            r.ops,
+            r.mixed.cost,
+            r.mixed.distinct_platforms(),
+            r.mix_desc,
+            r.mixed_sim_s
+        );
+        for (j, s) in r.singles.iter().enumerate() {
+            match s.cost {
+                Some(c) => {
+                    let _ = write!(json, "\"{}\": {:.6}", s.name, c);
+                }
+                None => {
+                    let _ = write!(json, "\"{}\": null", s.name);
+                }
+            }
+            if j + 1 < r.singles.len() {
+                json.push_str(", ");
+            }
+        }
+        json.push_str("}}");
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    fs::write(root.join("BENCH_platform_mix.json"), json).expect("write BENCH_platform_mix.json");
+
+    if winners.is_empty() || !sane {
+        eprintln!("fig02 acceptance checks FAILED");
+        std::process::exit(1);
+    }
+}

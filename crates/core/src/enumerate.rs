@@ -1,44 +1,92 @@
 //! Algorithm 1: priority-based enumeration over plan-vector matrices.
 //!
-//! The enumeration graph starts with one unit per operator (`k` singleton
-//! rows each). Repeatedly, the dataflow edge whose endpoint units would
-//! produce the fewest combinations (Def. 3: `|V_a| x |V_b|`, ties broken by
-//! fewer boundary operators of the merged scope, then FIFO) is contracted:
-//! the two matrices are cross-merged with the fused add kernel, conversion
-//! features are added for every dataflow edge crossing the two scopes, and
-//! Def-2 boundary pruning keeps the cheapest row per pruning footprint.
-//! When one unit covers the whole plan its empty footprint leaves exactly
-//! the optimal row, which `unvectorize` turns into an [`ExecutionPlan`].
+//! The enumeration graph starts with one unit per operator, with one
+//! singleton row per platform the registry's availability matrix permits
+//! for that operator's kind. Repeatedly, the dataflow edge whose endpoint
+//! units would produce the fewest combinations (Def. 3: `|V_a| x |V_b|`,
+//! ties broken by fewer boundary operators of the merged scope, then FIFO)
+//! is contracted: the two matrices are cross-merged with the fused add
+//! kernel, conversion features are added for every dataflow edge crossing
+//! the two scopes (combinations whose crossing edges have no conversion
+//! path in the registry's COT are excluded, DESIGN §6.3), the staged
+//! candidate rows are costed in **one batched oracle call**, and Def-2
+//! boundary pruning keeps the cheapest row per pruning footprint. When one
+//! unit covers the whole plan its empty footprint leaves exactly the
+//! optimal row, which `unvectorize` turns into an [`ExecutionPlan`].
 //!
 //! Zero-allocation hot path: the [`Enumerator`] owns matrix pools, scratch
-//! row buffers, the priority heap and the footprint map, all reused across
-//! calls. After a warm-up run, enumerating performs no `EnumMatrix` buffer
-//! growth (asserted by `tests/buffer_reuse.rs` via
+//! row buffers, the batch cost buffer, the priority heap and the footprint
+//! map, all reused across calls. After a warm-up run, enumerating performs
+//! no `EnumMatrix` buffer growth (asserted by `tests/buffer_reuse.rs` via
 //! [`robopt_vector::alloc_events`]).
 
 use std::collections::HashMap;
 
 use robopt_plan::LogicalPlan;
+use robopt_platforms::{PlatformId, PlatformRegistry};
 use robopt_vector::merge::{merge_assignments, merge_feats};
 use robopt_vector::{footprint_hash, EnumMatrix, FeatureLayout, Scope, NO_PLATFORM};
 
 use crate::oracle::CostOracle;
 use crate::vectorize::{add_conversion_features, fill_singleton, ExecutionPlan};
 
-/// Enumeration options.
+/// Enumeration options: a borrowed [`PlatformRegistry`] plus tuning flags,
+/// assembled builder-style.
+///
+/// ```
+/// # use robopt_platforms::PlatformRegistry;
+/// # use robopt_core::EnumOptions;
+/// let registry = PlatformRegistry::uniform(3);
+/// let opts = EnumOptions::new(&registry).with_prune(true);
+/// assert_eq!(opts.n_platforms(), 3);
+/// ```
 #[derive(Debug, Clone, Copy)]
-pub struct EnumOptions {
-    pub n_platforms: u8,
-    /// Apply Def-2 boundary pruning (lossless). Disabling it makes the
+pub struct EnumOptions<'a> {
+    registry: &'a PlatformRegistry,
+    prune: bool,
+}
+
+impl<'a> EnumOptions<'a> {
+    /// Options over `registry` with Def-2 boundary pruning enabled.
+    pub fn new(registry: &'a PlatformRegistry) -> Self {
+        EnumOptions {
+            registry,
+            prune: true,
+        }
+    }
+
+    /// Toggle Def-2 boundary pruning (lossless). Disabling it makes the
     /// search space grow as `k^n`; only sensible for tiny test plans.
-    pub prune: bool,
+    pub fn with_prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// The registry enumeration resolves platforms against.
+    #[inline]
+    pub fn registry(&self) -> &'a PlatformRegistry {
+        self.registry
+    }
+
+    /// Whether Def-2 boundary pruning is enabled.
+    #[inline]
+    pub fn prune(&self) -> bool {
+        self.prune
+    }
+
+    /// Number of platforms in the registry (the layout's `k`).
+    #[inline]
+    pub fn n_platforms(&self) -> usize {
+        self.registry.len()
+    }
 }
 
 /// Counters reported by one enumeration run (Table-I instrumentation).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EnumStats {
-    /// Candidate subplan vectors produced by `merge` (pre-pruning), plus the
-    /// initial singletons.
+    /// Candidate subplan vectors produced by `merge` (pre-pruning,
+    /// including combinations later excluded as structurally infeasible),
+    /// plus the initial singletons.
     pub generated: u64,
     /// Subplan vectors retained after pruning (the paper's "# enumerated
     /// subplans"), summed over all units ever materialized.
@@ -134,6 +182,7 @@ pub struct Enumerator {
     fp_map: HashMap<u64, u32>,
     scratch_feats: Vec<f64>,
     scratch_assign: Vec<u8>,
+    cost_buf: Vec<f64>,
     boundary: Vec<u32>,
     crossing: Vec<(u32, u32)>,
 }
@@ -183,21 +232,30 @@ impl Enumerator {
         count
     }
 
-    /// Run Algorithm 1. The plan must be sealed and connected.
+    /// Run Algorithm 1. The plan must be sealed and connected; the layout's
+    /// platform dimension must match the registry carried by `opts`.
     pub fn enumerate(
         &mut self,
         plan: &LogicalPlan,
         layout: &FeatureLayout,
         oracle: &dyn CostOracle,
-        opts: EnumOptions,
+        opts: EnumOptions<'_>,
     ) -> (ExecutionPlan, EnumStats) {
         let n = plan.n_ops();
-        let k = opts.n_platforms as usize;
-        assert!(n >= 1 && k >= 1 && k <= layout.n_platforms);
+        let registry = opts.registry();
+        let k = registry.len();
+        assert!(n >= 1, "empty plan");
+        assert_eq!(
+            k, layout.n_platforms,
+            "feature layout sized for {} platforms but the registry holds {k}",
+            layout.n_platforms
+        );
         assert!(plan.is_connected(), "enumeration requires a connected plan");
         let mut stats = EnumStats::default();
 
-        // vectorize: one unit per operator, k singleton rows each.
+        // vectorize: one unit per operator, one singleton row per platform
+        // the availability matrix permits for the operator's kind; the rows
+        // of each unit are costed with one batched oracle call.
         self.units.clear();
         self.parent.clear();
         self.scratch_feats.clear();
@@ -205,31 +263,45 @@ impl Enumerator {
         self.scratch_assign.clear();
         self.scratch_assign.resize(n, NO_PLATFORM);
         for op in 0..n as u32 {
+            let kind = plan.op(op).kind;
             let mut mat = self.take_mat(layout.width, n, k);
-            for p in 0..k as u8 {
-                self.scratch_feats.fill(0.0);
-                self.scratch_assign.fill(NO_PLATFORM);
-                fill_singleton(plan, layout, op, p, &mut self.scratch_feats);
-                self.scratch_assign[op as usize] = p;
-                let cost = oracle.cost_row(&self.scratch_feats);
-                mat.push_row(&self.scratch_feats, &self.scratch_assign, cost);
+            let mut feats = std::mem::take(&mut self.scratch_feats);
+            let mut assign = std::mem::take(&mut self.scratch_assign);
+            for p in registry.available_platforms(kind) {
+                feats.fill(0.0);
+                assign.fill(NO_PLATFORM);
+                fill_singleton(plan, layout, op, p.raw(), &mut feats);
+                assign[op as usize] = p.raw();
+                mat.push_row(&feats, &assign, 0.0);
             }
-            stats.generated += k as u64;
-            stats.kept += k as u64;
+            self.scratch_feats = feats;
+            self.scratch_assign = assign;
+            assert!(
+                mat.rows() > 0,
+                "operator {op} ({kind:?}) is unavailable on every registry platform"
+            );
+            oracle.cost_batch(mat.rows_view(), &mut self.cost_buf);
+            for r in 0..mat.rows() {
+                mat.set_cost(r, self.cost_buf[r]);
+            }
+            stats.generated += mat.rows() as u64;
+            stats.kept += mat.rows() as u64;
+            stats.peak_rows = stats.peak_rows.max(mat.rows() as u64);
             self.units.push(Some(Unit {
                 scope: Scope::singleton(op),
                 mat,
             }));
             self.parent.push(op);
         }
-        stats.peak_rows = k as u64;
 
         // Seed the priority queue with every dataflow edge.
         self.heap.clear();
         for (e, &(u, v)) in plan.edges().iter().enumerate() {
+            let rows_u = self.units[u as usize].as_ref().unwrap().mat.rows();
+            let rows_v = self.units[v as usize].as_ref().unwrap().mat.rows();
             let tie = Self::boundary_count(plan, Scope::singleton(u).union(Scope::singleton(v)));
             self.heap.push(HeapEntry {
-                priority: (k * k) as u64,
+                priority: (rows_u * rows_v) as u64,
                 tie_boundary: tie,
                 seq: e as u32,
                 edge: e as u32,
@@ -286,58 +358,79 @@ impl Enumerator {
                 }
             }
 
-            // Footprint count bounds retained rows when pruning: k^|boundary|.
-            let cap = if opts.prune {
-                (k as u64)
-                    .saturating_pow(self.boundary.len() as u32)
-                    .min((rows_a * rows_b) as u64) as usize
-            } else {
-                rows_a * rows_b
-            };
-            let mut dst = self.take_mat(layout.width, n, cap);
-            self.fp_map.clear();
-
-            // Split scratch buffers out of `self` so the borrows below are
-            // disjoint; they are put back (capacity intact) after the loop.
+            // Stage every feasible combination uncosted, then cost the whole
+            // staged block with one batched oracle call.
+            let mut stage = self.take_mat(layout.width, n, rows_a * rows_b);
             let mut feats = std::mem::take(&mut self.scratch_feats);
             let mut assign = std::mem::take(&mut self.scratch_assign);
             for ia in 0..a.mat.rows() {
                 for ib in 0..b.mat.rows() {
                     merge_feats(&mut feats, a.mat.row(ia), b.mat.row(ib));
                     merge_assignments(&mut assign, a.mat.assignments(ia), b.mat.assignments(ib));
+                    let mut feasible = true;
                     for &(u, v) in &self.crossing {
-                        add_conversion_features(
-                            plan,
-                            layout,
-                            u,
-                            v,
-                            assign[u as usize],
-                            assign[v as usize],
-                            &mut feats,
-                        );
-                    }
-                    let cost = oracle.cost_row(&feats);
-                    stats.generated += 1;
-                    if opts.prune {
-                        let fp = footprint_hash(&self.boundary, &assign);
-                        match self.fp_map.get(&fp) {
-                            Some(&row) => {
-                                if cost < dst.cost(row as usize) {
-                                    dst.overwrite_row(row as usize, &feats, &assign, cost);
-                                }
-                            }
-                            None => {
-                                let row = dst.push_row(&feats, &assign, cost);
-                                self.fp_map.insert(fp, row as u32);
-                            }
+                        let (pu, pv) = (assign[u as usize], assign[v as usize]);
+                        if pu != pv
+                            && !registry.convertible(
+                                PlatformId::from_index(pu as usize),
+                                PlatformId::from_index(pv as usize),
+                            )
+                        {
+                            feasible = false;
+                            break;
                         }
-                    } else {
-                        dst.push_row(&feats, &assign, cost);
+                        add_conversion_features(plan, layout, u, v, pu, pv, &mut feats);
+                    }
+                    if feasible {
+                        stage.push_row(&feats, &assign, 0.0);
                     }
                 }
             }
             self.scratch_feats = feats;
             self.scratch_assign = assign;
+            stats.generated += (rows_a * rows_b) as u64;
+            assert!(
+                stage.rows() > 0,
+                "no feasible platform combination for a merged scope — \
+                 the registry's conversion graph disconnects these operators"
+            );
+            oracle.cost_batch(stage.rows_view(), &mut self.cost_buf);
+
+            // Prune the staged rows into the destination unit: keep the
+            // cheapest row per Def-2 pruning footprint.
+            let cap = if opts.prune() {
+                (k as u64)
+                    .saturating_pow(self.boundary.len() as u32)
+                    .min(stage.rows() as u64) as usize
+            } else {
+                stage.rows()
+            };
+            let mut dst = self.take_mat(layout.width, n, cap);
+            self.fp_map.clear();
+            for r in 0..stage.rows() {
+                let cost = self.cost_buf[r];
+                if opts.prune() {
+                    let fp = footprint_hash(&self.boundary, stage.assignments(r));
+                    match self.fp_map.get(&fp) {
+                        Some(&row) => {
+                            if cost < dst.cost(row as usize) {
+                                dst.overwrite_row(
+                                    row as usize,
+                                    stage.row(r),
+                                    stage.assignments(r),
+                                    cost,
+                                );
+                            }
+                        }
+                        None => {
+                            let row = dst.push_row(stage.row(r), stage.assignments(r), cost);
+                            self.fp_map.insert(fp, row as u32);
+                        }
+                    }
+                } else {
+                    dst.push_row(stage.row(r), stage.assignments(r), cost);
+                }
+            }
 
             stats.merges += 1;
             stats.kept += dst.rows() as u64;
@@ -347,6 +440,7 @@ impl Enumerator {
             self.parent[rb as usize] = ra;
             self.pool.push(a.mat);
             self.pool.push(b.mat);
+            self.pool.push(stage);
             self.units[ra as usize] = Some(Unit {
                 scope: merged_scope,
                 mat: dst,
@@ -358,10 +452,7 @@ impl Enumerator {
         let unit = self.units[root as usize].take().unwrap();
         debug_assert_eq!(unit.scope.len() as usize, n);
         let best = unit.mat.min_cost_row().expect("non-empty enumeration");
-        let result = ExecutionPlan {
-            assignments: unit.mat.assignments(best).to_vec(),
-            cost: unit.mat.cost(best),
-        };
+        let result = ExecutionPlan::from_raw(unit.mat.assignments(best), unit.mat.cost(best));
         self.pool.push(unit.mat);
         (result, stats)
     }
@@ -373,17 +464,15 @@ mod tests {
     use crate::oracle::AnalyticOracle;
     use robopt_plan::{workloads, N_OPERATOR_KINDS};
 
-    fn run(plan: &LogicalPlan, k: u8, prune: bool) -> (ExecutionPlan, EnumStats) {
-        let layout = FeatureLayout::new(k as usize, N_OPERATOR_KINDS);
-        let oracle = AnalyticOracle::for_layout(&layout);
+    fn run(plan: &LogicalPlan, k: usize, prune: bool) -> (ExecutionPlan, EnumStats) {
+        let registry = PlatformRegistry::uniform(k);
+        let layout = FeatureLayout::new(k, N_OPERATOR_KINDS);
+        let oracle = AnalyticOracle::for_registry(&registry, &layout);
         Enumerator::new().enumerate(
             plan,
             &layout,
             &oracle,
-            EnumOptions {
-                n_platforms: k,
-                prune,
-            },
+            EnumOptions::new(&registry).with_prune(prune),
         )
     }
 
@@ -392,7 +481,7 @@ mod tests {
         let plan = workloads::wordcount(1e5);
         let (exec, stats) = run(&plan, 2, true);
         assert_eq!(exec.assignments.len(), 6);
-        assert!(exec.assignments.iter().all(|&p| p < 2));
+        assert!(exec.assignments.iter().all(|&p| p.index() < 2));
         assert!(exec.cost.is_finite() && exec.cost > 0.0);
         assert_eq!(stats.merges, 5);
     }
@@ -410,21 +499,66 @@ mod tests {
     fn optimum_is_no_worse_than_any_uniform_assignment() {
         use crate::vectorize::vectorize_assignment;
         let plan = workloads::tpch_q3(1e5);
+        let registry = PlatformRegistry::uniform(2);
         let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
-        let oracle = AnalyticOracle::for_layout(&layout);
-        let (exec, _) = Enumerator::new().enumerate(
-            &plan,
-            &layout,
-            &oracle,
-            EnumOptions {
-                n_platforms: 2,
-                prune: true,
-            },
-        );
+        let oracle = AnalyticOracle::for_registry(&registry, &layout);
+        let (exec, _) =
+            Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
         let mut feats = Vec::new();
         for p in 0..2u8 {
             vectorize_assignment(&plan, &layout, &vec![p; plan.n_ops()], &mut feats);
             assert!(exec.cost <= oracle.cost_row(&feats) + 1e-9);
         }
+    }
+
+    #[test]
+    fn availability_masking_keeps_operators_off_unsupported_platforms() {
+        use robopt_plan::OperatorKind;
+        let plan = workloads::wordcount(1e5);
+        let registry = PlatformRegistry::named();
+        let layout = FeatureLayout::new(registry.len(), N_OPERATOR_KINDS);
+        let oracle = AnalyticOracle::for_registry(&registry, &layout);
+        let (exec, _) =
+            Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
+        assert!(exec.cost.is_finite());
+        for (op, &p) in exec.assignments.iter().enumerate() {
+            assert!(
+                registry.is_available(plan.op(op as u32).kind, p),
+                "operator {op} ({:?}) placed on unavailable {p}",
+                plan.op(op as u32).kind
+            );
+        }
+        // WordCount has a TextFileSource, unavailable on Postgres/Giraph.
+        let pg = registry.by_name("postgres").unwrap();
+        assert_ne!(exec.assignments[0], pg);
+        assert!(OperatorKind::TextFileSource.is_source());
+    }
+
+    #[test]
+    fn infeasible_conversions_are_excluded_not_costed() {
+        use robopt_plan::{Operator, OperatorKind};
+        use robopt_platforms::Platform;
+        // Two platforms with NO channel between them: every operator chain
+        // must stay on a single platform.
+        let mut b = PlatformRegistry::builder();
+        b.add(Platform::new("iso0").with_fixed_cost(1.0));
+        b.add(Platform::new("iso1").with_fixed_cost(0.5));
+        let registry = b.build();
+        let mut plan = LogicalPlan::new();
+        let s = plan.add_op(Operator::source(OperatorKind::TextFileSource, 1e4));
+        let m = plan.add_op(Operator::new(OperatorKind::Map));
+        let t = plan.add_op(Operator::new(OperatorKind::LocalCallbackSink));
+        plan.connect(s, m);
+        plan.connect(m, t);
+        plan.seal();
+        let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
+        let oracle = AnalyticOracle::for_registry(&registry, &layout);
+        let (exec, _) =
+            Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
+        assert_eq!(
+            exec.distinct_platforms(),
+            1,
+            "disconnected COT must force a single-platform plan"
+        );
     }
 }

@@ -1,17 +1,21 @@
 //! `robopt-core`: the vector-based optimizer.
 //!
-//! * [`oracle`] — the pluggable [`oracle::CostOracle`] trait and the
-//!   deterministic analytic oracle used until the random forest lands;
+//! * [`oracle`] — the pluggable batched [`oracle::CostOracle`] trait and
+//!   the registry-derived analytic oracle used until the random forest
+//!   lands;
 //! * [`vectorize`] — whole-plan and singleton Fig-5 encodings, conversion
-//!   features, and `unvectorize` back to an executable platform assignment;
+//!   features, and `unvectorize` back to an executable platform assignment
+//!   over [`robopt_platforms::PlatformId`]s;
 //! * [`enumerate`] — Algorithm 1: priority-queue enumeration over
 //!   [`robopt_vector::EnumMatrix`] units with lossless boundary pruning
-//!   (Def. 2) and enumeration statistics.
+//!   (Def. 2), availability masking and conversion-feasibility exclusion
+//!   from the [`robopt_platforms::PlatformRegistry`] carried by
+//!   [`enumerate::EnumOptions`], and enumeration statistics.
 
 pub mod enumerate;
 pub mod oracle;
 pub mod vectorize;
 
 pub use enumerate::{EnumOptions, EnumStats, Enumerator};
-pub use oracle::{AnalyticOracle, CostOracle};
+pub use oracle::{uniform_oracle, AnalyticOracle, CostOracle};
 pub use vectorize::ExecutionPlan;

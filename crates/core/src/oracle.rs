@@ -3,38 +3,38 @@
 //! Both enumerators (vector-based and the object-graph baselines) cost plans
 //! through the same [`CostOracle`], so Fig-1 benchmarks isolate the
 //! *enumeration representation*, exactly as the paper's comparison against
-//! the "Rheem-ML" strawman requires. The analytic oracle here is the stub
-//! standing in for the random forest (which lands in a later PR): a linear
-//! functional over the plan vector with deterministic, platform-structured
-//! weights.
+//! the "Rheem-ML" strawman requires. Costing is **batched**: the enumerators
+//! stage every candidate row of a merge step and issue one
+//! [`CostOracle::cost_batch`] call, which is the entry point the random
+//! forest in `crates/ml` needs (per-row virtual dispatch would lock out
+//! batched tree inference).
+//!
+//! The analytic oracle here is the stub standing in for the random forest:
+//! a linear functional over the plan vector with weights derived from a
+//! [`PlatformRegistry`] — per-platform cost scales from the platform
+//! descriptors and conversion weights aggregated from the COT, instead of
+//! the hard-coded per-platform factor table of PR 1.
 
 use robopt_plan::N_OPERATOR_KINDS;
-use robopt_vector::FeatureLayout;
+use robopt_platforms::PlatformRegistry;
+use robopt_vector::{FeatureLayout, RowsView};
 
-/// A cost model consuming a plan vector row.
+/// A cost model consuming plan-vector rows.
 pub trait CostOracle {
     /// Estimated runtime cost of the (sub)plan encoded by `feats`.
     fn cost_row(&self, feats: &[f64]) -> f64;
-}
 
-/// Deterministic analytic cost model over the Fig-5 layout.
-///
-/// Linear in the additive cells. The two max cells carry weight 0 so that
-/// Def-2 boundary pruning is *exactly* lossless under this oracle (two rows
-/// with equal footprints receive identical future additions, and a linear
-/// functional preserves their cost order — the Lemma-1 property tests rely
-/// on this).
-#[derive(Debug, Clone)]
-pub struct AnalyticOracle {
-    weights: Vec<f64>,
-}
-
-/// Per-platform cost multiplier: platforms differ non-uniformly so the
-/// optimum genuinely mixes platforms once conversion costs amortize.
-#[inline]
-fn platform_factor(p: usize) -> f64 {
-    const F: [f64; 8] = [1.0, 0.55, 1.7, 0.8, 1.25, 0.65, 1.45, 0.9];
-    F[p % F.len()]
+    /// Cost every row of `rows` into `out` (cleared first; `out[r]` is the
+    /// cost of `rows.row(r)`). The default implementation loops
+    /// [`CostOracle::cost_row`]; batch-capable models (the random forest,
+    /// the SIMD-friendly linear oracle) override it with one flat pass.
+    fn cost_batch(&self, rows: RowsView<'_>, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(rows.rows());
+        for r in 0..rows.rows() {
+            out.push(self.cost_row(rows.row(r)));
+        }
+    }
 }
 
 /// Per-kind fixed-cost scale (startup/instantiation weight of one operator).
@@ -43,9 +43,42 @@ fn kind_base(kind: usize) -> f64 {
     0.5 + (kind % 7) as f64 * 0.3
 }
 
+/// Deterministic analytic cost model over the Fig-5 layout, derived from a
+/// [`PlatformRegistry`].
+///
+/// Linear in the additive cells. The two max cells carry weight 0 so that
+/// Def-2 boundary pruning is *exactly* lossless under this oracle (two rows
+/// with equal footprints receive identical future additions, and a linear
+/// functional preserves their cost order — the Lemma-1 property tests rely
+/// on this).
+///
+/// Weight provenance:
+///
+/// * per (kind, platform) instance count — `kind_base(kind) ·
+///   Platform::fixed_cost`;
+/// * per-platform effective input tuples — `Platform::tuple_rate`;
+/// * per-platform conversion count / converted tuples — the COT's mean
+///   inbound fixed / per-tuple path costs into that platform (the Fig-5
+///   layout only has per-*destination* aggregate conversion cells, so the
+///   linear oracle prices the COT in aggregate; the enumerator separately
+///   *excludes* pairs with no conversion path at all).
+#[derive(Debug, Clone)]
+pub struct AnalyticOracle {
+    weights: Vec<f64>,
+}
+
 impl AnalyticOracle {
-    pub fn for_layout(layout: &FeatureLayout) -> Self {
+    /// Derive the oracle weights for `layout` from `registry`. The layout's
+    /// platform dimension must match the registry size.
+    pub fn for_registry(registry: &PlatformRegistry, layout: &FeatureLayout) -> Self {
         assert_eq!(layout.n_kinds, N_OPERATOR_KINDS);
+        assert_eq!(
+            layout.n_platforms,
+            registry.len(),
+            "feature layout sized for {} platforms but the registry holds {}",
+            layout.n_platforms,
+            registry.len()
+        );
         let mut w = vec![0.0; layout.width];
         w[FeatureLayout::OP_COUNT] = 0.01;
         w[FeatureLayout::JUNCTURE_COUNT] = 0.02;
@@ -56,17 +89,22 @@ impl AnalyticOracle {
             w[layout.kind_count(kind)] = 0.1;
             w[layout.kind_in_tuples(kind)] = 1e-7;
             w[layout.kind_out_tuples(kind)] = 1e-7;
-            for p in 0..layout.n_platforms {
-                // Fixed per-instance cost of running this kind on platform p.
-                w[layout.kind_platform_count(kind, p)] = kind_base(kind) * platform_factor(p);
-            }
         }
-        for p in 0..layout.n_platforms {
-            // Conversions carry a fixed setup cost plus a per-tuple cost, so
-            // platform switches only pay off on large enough subplans.
-            w[layout.conversion_count(p)] = 5.0;
-            w[layout.conversion_tuples(p)] = 8e-6 * platform_factor(p);
-            w[layout.platform_input_tuples(p)] = 2e-6 * platform_factor(p);
+        for id in registry.ids() {
+            let p = id.index();
+            debug_assert!(p < layout.n_platforms, "{id} outside the layout");
+            let desc = registry.platform(id);
+            for kind in 0..layout.n_kinds {
+                // Fixed per-instance cost of running this kind on platform p.
+                w[layout.kind_platform_count(kind, p)] = kind_base(kind) * desc.fixed_cost;
+            }
+            // Conversions carry a fixed setup cost plus a per-tuple cost
+            // (COT aggregates), so platform switches only pay off on large
+            // enough subplans.
+            let cot = registry.conversions();
+            w[layout.conversion_count(p)] = cot.mean_inbound_fixed(id);
+            w[layout.conversion_tuples(p)] = cot.mean_inbound_per_tuple(id);
+            w[layout.platform_input_tuples(p)] = desc.tuple_rate;
         }
         AnalyticOracle { weights: w }
     }
@@ -86,6 +124,29 @@ impl CostOracle for AnalyticOracle {
         }
         acc
     }
+
+    /// One flat pass over the whole batch buffer — the linear-model analogue
+    /// of batched forest inference.
+    fn cost_batch(&self, rows: RowsView<'_>, out: &mut Vec<f64>) {
+        debug_assert_eq!(rows.width(), self.weights.len());
+        out.clear();
+        out.reserve(rows.rows());
+        for row in rows.flat().chunks_exact(self.weights.len()) {
+            let mut acc = 0.0;
+            for (&w, &x) in self.weights.iter().zip(row) {
+                acc += w * x;
+            }
+            out.push(acc);
+        }
+    }
+}
+
+/// Convenience: the uniform-registry oracle used by tests and benchmarks
+/// that do not care about availability or named platforms.
+pub fn uniform_oracle(layout: &FeatureLayout) -> (PlatformRegistry, AnalyticOracle) {
+    let registry = PlatformRegistry::uniform(layout.n_platforms);
+    let oracle = AnalyticOracle::for_registry(&registry, layout);
+    (registry, oracle)
 }
 
 #[cfg(test)]
@@ -95,8 +156,9 @@ mod tests {
     #[test]
     fn oracle_is_linear_and_deterministic() {
         let layout = FeatureLayout::new(3, N_OPERATOR_KINDS);
-        let o1 = AnalyticOracle::for_layout(&layout);
-        let o2 = AnalyticOracle::for_layout(&layout);
+        let registry = PlatformRegistry::uniform(3);
+        let o1 = AnalyticOracle::for_registry(&registry, &layout);
+        let o2 = AnalyticOracle::for_registry(&registry, &layout);
         assert_eq!(o1.weights(), o2.weights());
         let a = vec![1.0; layout.width];
         let b = vec![2.0; layout.width];
@@ -108,11 +170,71 @@ mod tests {
     #[test]
     fn platforms_are_cost_asymmetric() {
         let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
-        let o = AnalyticOracle::for_layout(&layout);
+        let registry = PlatformRegistry::uniform(2);
+        let o = AnalyticOracle::for_registry(&registry, &layout);
         let w = o.weights();
         assert_ne!(
             w[layout.kind_platform_count(3, 0)],
             w[layout.kind_platform_count(3, 1)]
         );
+    }
+
+    #[test]
+    fn named_registry_weights_follow_descriptors_and_cot() {
+        let registry = PlatformRegistry::named();
+        let layout = FeatureLayout::new(registry.len(), N_OPERATOR_KINDS);
+        let o = AnalyticOracle::for_registry(&registry, &layout);
+        let w = o.weights();
+        let java = registry.by_name("java").unwrap();
+        let spark = registry.by_name("spark").unwrap();
+        // Per-instance fixed weights scale with the descriptor.
+        assert!(
+            w[layout.kind_platform_count(3, spark.index())]
+                > w[layout.kind_platform_count(3, java.index())]
+        );
+        // Per-tuple weight is the descriptor's rate verbatim.
+        assert_eq!(
+            w[layout.platform_input_tuples(java.index())],
+            registry.platform(java).tuple_rate
+        );
+        // Conversion weights come from the COT aggregation.
+        assert_eq!(
+            w[layout.conversion_count(java.index())],
+            registry.conversions().mean_inbound_fixed(java)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registry holds")]
+    fn layout_registry_size_mismatch_is_rejected() {
+        let layout = FeatureLayout::new(3, N_OPERATOR_KINDS);
+        let registry = PlatformRegistry::uniform(2);
+        AnalyticOracle::for_registry(&registry, &layout);
+    }
+
+    #[test]
+    fn default_and_overridden_cost_batch_agree() {
+        struct RowOnly(AnalyticOracle);
+        impl CostOracle for RowOnly {
+            fn cost_row(&self, feats: &[f64]) -> f64 {
+                self.0.cost_row(feats)
+            }
+        }
+        let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
+        let (_, oracle) = uniform_oracle(&layout);
+        let rows = 7;
+        let mut buf = vec![0.0; rows * layout.width];
+        for (i, cell) in buf.iter_mut().enumerate() {
+            *cell = (i % 13) as f64 * 0.5;
+        }
+        let view = RowsView::new(&buf, layout.width);
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        oracle.cost_batch(view, &mut fast);
+        RowOnly(oracle.clone()).cost_batch(view, &mut slow);
+        assert_eq!(fast.len(), rows);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+        }
     }
 }

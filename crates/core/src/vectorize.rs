@@ -15,15 +15,49 @@
 //! on random DAGs.
 
 use robopt_plan::LogicalPlan;
+use robopt_platforms::PlatformId;
 use robopt_vector::{FeatureLayout, NO_PLATFORM};
 
 /// The result of `unvectorize`: an executable platform assignment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionPlan {
-    /// Platform per operator, indexed by op id.
-    pub assignments: Vec<u8>,
+    /// Platform per operator, indexed by op id; ids resolve against the
+    /// [`robopt_platforms::PlatformRegistry`] the enumeration ran over.
+    pub assignments: Vec<PlatformId>,
     /// Cost under the oracle that drove the enumeration.
     pub cost: f64,
+}
+
+impl ExecutionPlan {
+    /// Build from the raw per-operator platform bytes the enumeration
+    /// matrices carry (see `robopt_vector::EnumMatrix`).
+    pub fn from_raw(raw: &[u8], cost: f64) -> Self {
+        ExecutionPlan {
+            assignments: raw
+                .iter()
+                .map(|&p| {
+                    debug_assert_ne!(p, NO_PLATFORM, "unassigned operator in a final plan");
+                    PlatformId::from_index(p as usize)
+                })
+                .collect(),
+            cost,
+        }
+    }
+
+    /// Raw dense platform indexes (one byte per operator) — the encoding
+    /// `vectorize_assignment` and the enumeration matrices consume.
+    pub fn raw_assignments(&self) -> Vec<u8> {
+        self.assignments.iter().map(|p| p.raw()).collect()
+    }
+
+    /// Number of distinct platforms the plan executes on.
+    pub fn distinct_platforms(&self) -> usize {
+        let mut mask = 0u8;
+        for p in &self.assignments {
+            mask |= 1u8 << p.index();
+        }
+        mask.count_ones() as usize
+    }
 }
 
 /// Encode a single operator running on `platform` into `feats`

@@ -19,4 +19,4 @@ pub mod merge;
 
 pub use footprint::{footprint_hash, Scope};
 pub use layout::FeatureLayout;
-pub use matrix::{alloc_events, EnumMatrix, NO_PLATFORM};
+pub use matrix::{alloc_events, EnumMatrix, RowsView, NO_PLATFORM};

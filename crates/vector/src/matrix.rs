@@ -132,6 +132,21 @@ impl EnumMatrix {
         r
     }
 
+    /// Set the cost of row `r` (used after a batched oracle call costs the
+    /// staged candidate rows in one pass).
+    #[inline]
+    pub fn set_cost(&mut self, r: usize, cost: f64) {
+        debug_assert!(r < self.rows);
+        self.costs[r] = cost;
+    }
+
+    /// Borrow all feature rows as a [`RowsView`] — the input of
+    /// `CostOracle::cost_batch`.
+    #[inline]
+    pub fn rows_view(&self) -> RowsView<'_> {
+        RowsView::new(&self.feats[..self.rows * self.width], self.width)
+    }
+
     /// Overwrite row `r` in place (the keep-min side of `prune`).
     pub fn overwrite_row(&mut self, r: usize, feats: &[f64], assign: &[u8], cost: f64) {
         debug_assert!(r < self.rows);
@@ -146,9 +161,67 @@ impl EnumMatrix {
     }
 }
 
+/// A borrowed view of contiguous row-major feature rows — the batched
+/// cost-oracle input. Decouples oracles from [`EnumMatrix`]: any flat
+/// `&[f64]` whose length is a multiple of `width` can be costed in one
+/// batch (the object-graph baseline builds such buffers from scratch on
+/// every merge; the ML forest will consume whole batches per inference).
+#[derive(Debug, Clone, Copy)]
+pub struct RowsView<'a> {
+    feats: &'a [f64],
+    width: usize,
+}
+
+impl<'a> RowsView<'a> {
+    /// View over `feats` as rows of `width` cells. `feats.len()` must be a
+    /// multiple of `width`.
+    #[inline]
+    pub fn new(feats: &'a [f64], width: usize) -> Self {
+        assert!(width > 0, "zero-width rows");
+        debug_assert_eq!(feats.len() % width, 0, "ragged row buffer");
+        RowsView { feats, width }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.feats.len() / self.width
+    }
+
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    #[inline]
+    pub fn row(&self, r: usize) -> &'a [f64] {
+        &self.feats[r * self.width..(r + 1) * self.width]
+    }
+
+    /// The whole backing buffer (`rows() * width()` cells, row-major) —
+    /// lets batched oracles run one flat pass instead of `rows()` slices.
+    #[inline]
+    pub fn flat(&self) -> &'a [f64] {
+        self.feats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rows_view_exposes_rows_and_flat_buffer() {
+        let mut m = EnumMatrix::new();
+        m.reset(2, 1);
+        m.push_row(&[1.0, 2.0], &[0], 0.0);
+        m.push_row(&[3.0, 4.0], &[1], 0.0);
+        let v = m.rows_view();
+        assert_eq!((v.rows(), v.width()), (2, 2));
+        assert_eq!(v.row(1), &[3.0, 4.0]);
+        assert_eq!(v.flat(), &[1.0, 2.0, 3.0, 4.0]);
+        m.set_cost(1, 9.0);
+        assert_eq!(m.cost(1), 9.0);
+    }
 
     #[test]
     fn push_and_overwrite_roundtrip() {

@@ -15,8 +15,11 @@
 //!   pruning footprints;
 //! * [`robopt_core`] — vectorize / enumerate / unvectorize (Algorithm 1);
 //! * [`robopt_baselines`] — object-graph "Rheem-ML" foil, exhaustive search;
-//! * [`robopt_platforms`], [`robopt_engine`], [`robopt_ml`],
-//!   [`robopt_tdgen`], [`robopt_cli`] — stubs landing in later PRs.
+//! * [`robopt_platforms`] — the platform registry: descriptors,
+//!   operator-availability matrix, conversion graph (COT), and the
+//!   deterministic runtime simulator;
+//! * [`robopt_engine`], [`robopt_ml`], [`robopt_tdgen`], [`robopt_cli`] —
+//!   stubs landing in later PRs.
 
 pub use robopt_baselines as baselines;
 pub use robopt_cli as cli;
@@ -30,7 +33,12 @@ pub use robopt_vector as vector;
 
 /// Convenience prelude for examples and tests.
 pub mod prelude {
-    pub use robopt_core::{AnalyticOracle, CostOracle, EnumOptions, EnumStats, Enumerator};
+    pub use robopt_core::{
+        uniform_oracle, AnalyticOracle, CostOracle, EnumOptions, EnumStats, Enumerator,
+    };
     pub use robopt_plan::{workloads, LogicalPlan, Operator, OperatorKind, SplitMix64};
-    pub use robopt_vector::{EnumMatrix, FeatureLayout, Scope};
+    pub use robopt_platforms::{
+        Platform, PlatformId, PlatformRegistry, RuntimeSimulator, MAX_PLATFORMS,
+    };
+    pub use robopt_vector::{EnumMatrix, FeatureLayout, RowsView, Scope};
 }

@@ -8,17 +8,16 @@
 
 use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
 use robopt_plan::{workloads, N_OPERATOR_KINDS};
+use robopt_platforms::PlatformRegistry;
 use robopt_vector::FeatureLayout;
 
 #[test]
 fn warmed_enumerator_performs_no_matrix_allocation() {
     let plan = workloads::synthetic_pipeline(40, 1e5);
+    let registry = PlatformRegistry::uniform(2);
     let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
-    let oracle = AnalyticOracle::for_layout(&layout);
-    let opts = EnumOptions {
-        n_platforms: 2,
-        prune: true,
-    };
+    let oracle = AnalyticOracle::for_registry(&registry, &layout);
+    let opts = EnumOptions::new(&registry);
     let mut enumerator = Enumerator::new();
 
     // Warm-up: pools and scratch buffers grow to a fixpoint (pool matrices

@@ -9,6 +9,7 @@
 use robopt_baselines::{exhaustive_best, ObjectEnumerator};
 use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
 use robopt_plan::{workloads, SplitMix64, N_OPERATOR_KINDS};
+use robopt_platforms::PlatformRegistry;
 use robopt_vector::FeatureLayout;
 
 #[test]
@@ -20,20 +21,14 @@ fn pruned_priority_enumeration_matches_exhaustive_optimum() {
         let n = 3 + rng.gen_range(5); // 3..=7 operators
         let k = 2 + rng.gen_range(2); // 2..=3 platforms -> k^n <= 2187
         let plan = workloads::random_connected_dag(&mut rng, n, 0.4);
+        let registry = PlatformRegistry::uniform(k);
         let layout = FeatureLayout::new(k, N_OPERATOR_KINDS);
-        let oracle = AnalyticOracle::for_layout(&layout);
+        let oracle = AnalyticOracle::for_registry(&registry, &layout);
 
-        let brute = exhaustive_best(&plan, &layout, &oracle, k as u8);
-        let (pruned, stats) = vector_enum.enumerate(
-            &plan,
-            &layout,
-            &oracle,
-            EnumOptions {
-                n_platforms: k as u8,
-                prune: true,
-            },
-        );
-        let object = object_enum.enumerate(&plan, &layout, &oracle, k as u8);
+        let brute = exhaustive_best(&plan, &layout, &oracle, &registry);
+        let (pruned, stats) =
+            vector_enum.enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
+        let object = object_enum.enumerate(&plan, &layout, &oracle, &registry);
 
         let tol = 1e-9 * brute.cost.abs().max(1.0);
         assert!(
@@ -54,7 +49,7 @@ fn pruned_priority_enumeration_matches_exhaustive_optimum() {
         robopt_core::vectorize::vectorize_assignment(
             &plan,
             &layout,
-            &pruned.assignments,
+            &pruned.raw_assignments(),
             &mut feats,
         );
         let recost = robopt_core::CostOracle::cost_row(&oracle, &feats);

@@ -10,6 +10,7 @@
 use robopt_baselines::exhaustive_count;
 use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
 use robopt_plan::{workloads, N_OPERATOR_KINDS};
+use robopt_platforms::PlatformRegistry;
 use robopt_vector::FeatureLayout;
 
 #[test]
@@ -18,17 +19,11 @@ fn pruned_counts_grow_n_k_squared_exhaustive_grows_k_to_n() {
     for n in [5usize, 20] {
         for k in 2usize..=5 {
             let plan = workloads::synthetic_pipeline(n, 1e5);
+            let registry = PlatformRegistry::uniform(k);
             let layout = FeatureLayout::new(k, N_OPERATOR_KINDS);
-            let oracle = AnalyticOracle::for_layout(&layout);
-            let (_, stats) = enumerator.enumerate(
-                &plan,
-                &layout,
-                &oracle,
-                EnumOptions {
-                    n_platforms: k as u8,
-                    prune: true,
-                },
-            );
+            let oracle = AnalyticOracle::for_registry(&registry, &layout);
+            let (_, stats) =
+                enumerator.enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
             let bound = (n * k + (n - 1) * k * k) as u64;
             assert!(
                 stats.kept <= bound,
