@@ -2,7 +2,7 @@
 //! the Table-I `k^n` search-space reference.
 
 use robopt_core::vectorize::{vectorize_assignment, ExecutionPlan};
-use robopt_core::CostOracle;
+use robopt_core::EnumOptions;
 use robopt_plan::LogicalPlan;
 use robopt_platforms::{PlatformId, PlatformRegistry};
 use robopt_vector::{FeatureLayout, RowsView};
@@ -36,18 +36,21 @@ fn feasible(plan: &LogicalPlan, registry: &PlatformRegistry, assign: &[u8]) -> b
 }
 
 /// Cost every feasible one of the `k^n` full assignments (availability and
-/// conversion feasibility come from `registry`) and return the optimum.
-/// Candidates are costed in batches of `BATCH_ROWS` rows through
-/// [`CostOracle::cost_batch`]; guarded to small plans.
+/// conversion feasibility come from the registry carried by `opts`) and
+/// return the optimum. Candidates are costed in batches of `BATCH_ROWS` rows
+/// through [`robopt_core::CostOracle::cost_batch`]; guarded to small plans.
+/// The sweep is already exhaustive, so `opts.prune()` is ignored.
 pub fn exhaustive_best(
     plan: &LogicalPlan,
     layout: &FeatureLayout,
-    oracle: &dyn CostOracle,
-    registry: &PlatformRegistry,
+    opts: EnumOptions<'_>,
 ) -> ExecutionPlan {
+    let registry = opts.registry();
+    let oracle = opts.oracle();
     let n = plan.n_ops();
     let k = registry.len();
     assert_eq!(layout.n_platforms, k);
+    assert_eq!(oracle.width(), layout.width);
     let total = exhaustive_count(n, k);
     assert!(
         total <= 1 << 22,
@@ -126,30 +129,30 @@ mod tests {
 
     #[test]
     fn exhaustive_matches_pruned_enumeration_on_wordcount() {
-        use robopt_core::{EnumOptions, Enumerator};
+        use robopt_core::Enumerator;
         let plan = workloads::wordcount(1e5);
         let registry = PlatformRegistry::uniform(2);
         let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
         let oracle = AnalyticOracle::for_registry(&registry, &layout);
-        let brute = exhaustive_best(&plan, &layout, &oracle, &registry);
-        let (fast, _) =
-            Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
+        let opts = EnumOptions::new(&registry).with_oracle(&oracle);
+        let brute = exhaustive_best(&plan, &layout, opts);
+        let (fast, _) = Enumerator::new().enumerate(&plan, &layout, opts);
         assert!((brute.cost - fast.cost).abs() <= 1e-9 * brute.cost.abs().max(1.0));
     }
 
     #[test]
     fn exhaustive_respects_named_registry_feasibility() {
-        use robopt_core::{EnumOptions, Enumerator};
+        use robopt_core::Enumerator;
         let plan = workloads::wordcount(1e5);
         let registry = PlatformRegistry::named();
         let layout = FeatureLayout::new(registry.len(), N_OPERATOR_KINDS);
         let oracle = AnalyticOracle::for_registry(&registry, &layout);
-        let brute = exhaustive_best(&plan, &layout, &oracle, &registry);
+        let opts = EnumOptions::new(&registry).with_oracle(&oracle);
+        let brute = exhaustive_best(&plan, &layout, opts);
         for (op, &p) in brute.assignments.iter().enumerate() {
             assert!(registry.is_available(plan.op(op as u32).kind, p));
         }
-        let (fast, _) =
-            Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
+        let (fast, _) = Enumerator::new().enumerate(&plan, &layout, opts);
         assert!((brute.cost - fast.cost).abs() <= 1e-9 * brute.cost.abs().max(1.0));
     }
 }

@@ -15,9 +15,9 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use robopt_core::vectorize::ExecutionPlan;
-use robopt_core::CostOracle;
+use robopt_core::EnumOptions;
 use robopt_plan::LogicalPlan;
-use robopt_platforms::{PlatformId, PlatformRegistry};
+use robopt_platforms::PlatformId;
 use robopt_vector::{footprint_hash, FeatureLayout, RowsView, Scope, NO_PLATFORM};
 
 use crate::object_plan::ObjNode;
@@ -88,17 +88,20 @@ impl ObjectEnumerator {
     }
 
     /// Run the enumeration; result matches the vector enumerator's optimum
-    /// over the same registry.
+    /// over the same registry and oracle (both carried by `opts`). The
+    /// strawman always prunes (Def-2); `opts.prune()` is ignored.
     pub fn enumerate(
         &mut self,
         plan: &LogicalPlan,
         layout: &FeatureLayout,
-        oracle: &dyn CostOracle,
-        registry: &PlatformRegistry,
+        opts: EnumOptions<'_>,
     ) -> ExecutionPlan {
         let n = plan.n_ops();
+        let registry = opts.registry();
+        let oracle = opts.oracle();
         assert!(plan.is_connected());
         assert_eq!(layout.n_platforms, registry.len());
+        assert_eq!(oracle.width(), layout.width);
         let mut units: Vec<Option<ObjUnit>> = (0..n as u32)
             .map(|op| {
                 // Availability masking: one singleton per permitted platform,
@@ -245,13 +248,14 @@ mod tests {
 
     #[test]
     fn object_enumerator_matches_vector_enumerator() {
+        use robopt_platforms::PlatformRegistry;
         for plan in [workloads::wordcount(1e5), workloads::tpch_q3(1e4)] {
             let registry = PlatformRegistry::uniform(2);
             let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
             let oracle = AnalyticOracle::for_registry(&registry, &layout);
-            let (vec_exec, _) =
-                Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
-            let obj_exec = ObjectEnumerator::new().enumerate(&plan, &layout, &oracle, &registry);
+            let opts = EnumOptions::new(&registry).with_oracle(&oracle);
+            let (vec_exec, _) = Enumerator::new().enumerate(&plan, &layout, opts);
+            let obj_exec = ObjectEnumerator::new().enumerate(&plan, &layout, opts);
             let tol = 1e-9 * vec_exec.cost.abs().max(1.0);
             assert!((vec_exec.cost - obj_exec.cost).abs() <= tol);
         }
@@ -259,13 +263,14 @@ mod tests {
 
     #[test]
     fn object_enumerator_matches_vector_enumerator_on_named_registry() {
+        use robopt_platforms::PlatformRegistry;
         let plan = workloads::wordcount(1e6);
         let registry = PlatformRegistry::named();
         let layout = FeatureLayout::new(registry.len(), N_OPERATOR_KINDS);
         let oracle = AnalyticOracle::for_registry(&registry, &layout);
-        let (vec_exec, _) =
-            Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
-        let obj_exec = ObjectEnumerator::new().enumerate(&plan, &layout, &oracle, &registry);
+        let opts = EnumOptions::new(&registry).with_oracle(&oracle);
+        let (vec_exec, _) = Enumerator::new().enumerate(&plan, &layout, opts);
+        let obj_exec = ObjectEnumerator::new().enumerate(&plan, &layout, opts);
         let tol = 1e-9 * vec_exec.cost.abs().max(1.0);
         assert!((vec_exec.cost - obj_exec.cost).abs() <= tol);
         assert_eq!(vec_exec.assignments, obj_exec.assignments);

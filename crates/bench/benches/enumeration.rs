@@ -23,7 +23,7 @@ fn main() {
     let registry = PlatformRegistry::uniform(2);
     let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
     let oracle = AnalyticOracle::for_registry(&registry, &layout);
-    let opts = EnumOptions::new(&registry);
+    let opts = EnumOptions::new(&registry).with_oracle(&oracle);
 
     // Raw merge kernel: one fused add over a row pair.
     let a = vec![1.5f64; layout.width];
@@ -51,7 +51,7 @@ fn main() {
         report(
             name,
             bench(20, 201, || {
-                let (exec, _) = e.enumerate(&plan, &layout, &oracle, opts);
+                let (exec, _) = e.enumerate(&plan, &layout, opts);
                 std::hint::black_box(exec.cost);
             }),
         );
@@ -67,7 +67,7 @@ fn main() {
         report(
             name,
             bench(10, 101, || {
-                let exec = e.enumerate(&plan, &layout, &oracle, &registry);
+                let exec = e.enumerate(&plan, &layout, opts);
                 std::hint::black_box(exec.cost);
             }),
         );

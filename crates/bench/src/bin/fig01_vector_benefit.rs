@@ -38,21 +38,19 @@ fn measure(task: &'static str, plan: &LogicalPlan) -> Row {
     let registry = PlatformRegistry::uniform(PLATFORMS);
     let layout = FeatureLayout::new(PLATFORMS, N_OPERATOR_KINDS);
     let oracle = AnalyticOracle::for_registry(&registry, &layout);
-    let opts = EnumOptions::new(&registry);
+    let opts = EnumOptions::new(&registry).with_oracle(&oracle);
 
     let mut vector_enum = Enumerator::new();
-    let vector_cost = vector_enum.enumerate(plan, &layout, &oracle, opts).0.cost;
+    let vector_cost = vector_enum.enumerate(plan, &layout, opts).0.cost;
     let vector_t = bench(WARMUP, ITERS, || {
-        let (exec, _) = vector_enum.enumerate(plan, &layout, &oracle, opts);
+        let (exec, _) = vector_enum.enumerate(plan, &layout, opts);
         std::hint::black_box(exec.cost);
     });
 
     let mut object_enum = ObjectEnumerator::new();
-    let object_cost = object_enum
-        .enumerate(plan, &layout, &oracle, &registry)
-        .cost;
+    let object_cost = object_enum.enumerate(plan, &layout, opts).cost;
     let object_t = bench(WARMUP, ITERS, || {
-        let exec = object_enum.enumerate(plan, &layout, &oracle, &registry);
+        let exec = object_enum.enumerate(plan, &layout, opts);
         std::hint::black_box(exec.cost);
     });
 

@@ -80,8 +80,11 @@ fn measure(task: &'static str, plan: &LogicalPlan, registry: &PlatformRegistry) 
     let oracle = AnalyticOracle::for_registry(registry, &layout);
     let sim = RuntimeSimulator::new(registry, SIM_SEED);
 
-    let (mixed, _) =
-        Enumerator::new().enumerate(plan, &layout, &oracle, EnumOptions::new(registry));
+    let (mixed, _) = Enumerator::new().enumerate(
+        plan,
+        &layout,
+        EnumOptions::new(registry).with_oracle(&oracle),
+    );
     let mixed_sim_s = sim.simulate(plan, &mixed.assignments);
 
     let mut feats = Vec::new();

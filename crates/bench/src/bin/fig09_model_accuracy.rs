@@ -1,0 +1,223 @@
+//! Fig 9: learned-cost-model accuracy — bagged random forest vs the
+//! closed-form linear baseline, over growing training-set sizes, plus the
+//! end-to-end check that the forest actually steers enumeration well.
+//!
+//! Training and held-out sets are drawn from the deterministic
+//! [`robopt_platforms::RuntimeSimulator`] (the paper's TDGEN role): plans
+//! from the workload pool, feasible platform assignments, labels in
+//! `ln(1 + seconds)`. The forest must beat the linear model's held-out
+//! MSE at **every** training size, and the plan it picks for
+//! WordCount(1e7) behind `&dyn CostOracle` must simulate no slower than
+//! the analytic oracle's pick. Writes
+//! `EXPERIMENTS_OUTPUT/fig09_model_accuracy.txt` and
+//! `BENCH_model_accuracy.json` at the repository root.
+//!
+//! `--quick` shrinks sizes and tree counts for the CI training-smoke run.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use robopt_bench::repo_root;
+use robopt_core::{AnalyticOracle, CostOracle, EnumOptions, Enumerator};
+use robopt_ml::{
+    simulator_training_set, ForestConfig, LinearModel, Metrics, Model, ModelOracle, RandomForest,
+    SamplerConfig, TrainingSet,
+};
+use robopt_plan::{workloads, N_OPERATOR_KINDS};
+use robopt_platforms::{PlatformRegistry, RuntimeSimulator};
+use robopt_vector::FeatureLayout;
+
+const TRAIN_SEED: u64 = 0x000F_169A;
+const HELDOUT_SEED: u64 = 0x000F_169B;
+const SIM_SEED: u64 = 42;
+
+struct SweepRow {
+    train_size: usize,
+    linear: Metrics,
+    forest: Metrics,
+    /// Mean q-error on raw seconds (not log space), forest.
+    forest_q_seconds: f64,
+}
+
+fn eval_model(model: &dyn Model, heldout: &TrainingSet) -> (Metrics, f64) {
+    let mut preds = Vec::new();
+    model.predict_batch(heldout.rows_view(), &mut preds);
+    let metrics = Metrics::evaluate(&preds, &heldout.labels);
+    let q_sum: f64 = preds
+        .iter()
+        .zip(&heldout.seconds)
+        .map(|(&p, &s)| robopt_ml::q_error(TrainingSet::label_to_seconds(p), s))
+        .sum();
+    (metrics, q_sum / preds.len() as f64)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sizes, n_trees, heldout_n): (&[usize], usize, usize) = if quick {
+        (&[100, 200, 400], 16, 150)
+    } else {
+        (&[250, 500, 1000, 2000], 32, 500)
+    };
+
+    let registry = PlatformRegistry::named();
+    let layout = FeatureLayout::new(registry.len(), N_OPERATOR_KINDS);
+
+    // One max-size training draw; each sweep point trains on a strict
+    // prefix, so larger sizes extend rather than replace the data.
+    let max_size = *sizes.last().unwrap();
+    let train = simulator_training_set(
+        &registry,
+        &layout,
+        &SamplerConfig {
+            n_samples: max_size,
+            seed: TRAIN_SEED,
+            noise: 0.05,
+        },
+    );
+    // Held-out: independent seed, noiseless labels = clean ground truth.
+    let heldout = simulator_training_set(
+        &registry,
+        &layout,
+        &SamplerConfig {
+            n_samples: heldout_n,
+            seed: HELDOUT_SEED,
+            noise: 0.0,
+        },
+    );
+
+    let forest_cfg = ForestConfig {
+        n_trees,
+        ..ForestConfig::default()
+    };
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let mut final_forest: Option<RandomForest> = None;
+    for &n in sizes {
+        let subset = train.truncated(n);
+        let mut linear = LinearModel::new();
+        linear.fit(subset.rows_view(), &subset.labels);
+        let forest = RandomForest::fit(&forest_cfg, subset.rows_view(), &subset.labels);
+        let (linear_m, _) = eval_model(&linear, &heldout);
+        let (forest_m, forest_q) = eval_model(&forest, &heldout);
+        rows.push(SweepRow {
+            train_size: n,
+            linear: linear_m,
+            forest: forest_m,
+            forest_q_seconds: forest_q,
+        });
+        final_forest = Some(forest);
+    }
+    let forest = final_forest.expect("at least one sweep point");
+
+    // End-to-end: the forest (behind `&dyn CostOracle`) vs the analytic
+    // oracle, both driving the vectorized enumerator on WordCount(1e7);
+    // the simulator is the ground-truth judge.
+    let plan = workloads::wordcount(1e7);
+    let sim = RuntimeSimulator::new(&registry, SIM_SEED);
+    let forest_oracle = ModelOracle::new(forest);
+    let dyn_oracle: &dyn CostOracle = &forest_oracle;
+    let (forest_exec, _) = Enumerator::new().enumerate(
+        &plan,
+        &layout,
+        EnumOptions::new(&registry).with_oracle(dyn_oracle),
+    );
+    let analytic = AnalyticOracle::for_registry(&registry, &layout);
+    let (analytic_exec, _) = Enumerator::new().enumerate(
+        &plan,
+        &layout,
+        EnumOptions::new(&registry).with_oracle(&analytic),
+    );
+    let forest_sim_s = sim.simulate(&plan, &forest_exec.assignments);
+    let analytic_sim_s = sim.simulate(&plan, &analytic_exec.assignments);
+
+    let forest_always_wins = rows.iter().all(|r| r.forest.mse < r.linear.mse);
+    let e2e_ok = forest_sim_s <= analytic_sim_s * (1.0 + 1e-9);
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Fig 9: cost-model accuracy on held-out simulator-labelled plans \
+         ({} rows, {} platforms{})",
+        heldout.len(),
+        registry.len(),
+        if quick { ", --quick" } else { "" }
+    );
+    let _ = writeln!(
+        report,
+        "labels: ln(1+seconds); q-error on raw seconds; forest: {n_trees} trees"
+    );
+    let _ = writeln!(
+        report,
+        "{:>10} {:>12} {:>12} {:>8} {:>12} {:>10} {:>12}",
+        "train", "linear MSE", "forest MSE", "ratio", "forest MAE", "q(log)", "q(seconds)"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            report,
+            "{:>10} {:>12.4} {:>12.4} {:>8.3} {:>12.4} {:>10.3} {:>12.3}",
+            r.train_size,
+            r.linear.mse,
+            r.forest.mse,
+            r.forest.mse / r.linear.mse,
+            r.forest.mae,
+            r.forest.q_mean,
+            r.forest_q_seconds
+        );
+    }
+    let _ = writeln!(report);
+    let _ = writeln!(
+        report,
+        "end-to-end WordCount(1e7): forest-picked plan {forest_sim_s:.2}s \
+         vs analytic-picked {analytic_sim_s:.2}s (simulated ground truth)"
+    );
+    let _ = writeln!(
+        report,
+        "CHECK forest MSE < linear MSE at every training size: {}",
+        if forest_always_wins { "PASS" } else { "FAIL" }
+    );
+    let _ = writeln!(
+        report,
+        "CHECK forest-driven enumeration <= analytic-driven (simulated): {}",
+        if e2e_ok { "PASS" } else { "FAIL" }
+    );
+    let _ = writeln!(
+        report,
+        "paper shape: learned model accuracy improves with training size; \
+         linear baseline plateaus on the non-linear runtime surface"
+    );
+    print!("{report}");
+
+    let root = repo_root();
+    fs::create_dir_all(root.join("EXPERIMENTS_OUTPUT")).expect("create EXPERIMENTS_OUTPUT");
+    fs::write(
+        root.join("EXPERIMENTS_OUTPUT/fig09_model_accuracy.txt"),
+        &report,
+    )
+    .expect("write fig09 report");
+
+    // Hand-rendered JSON (offline environment: no serde_json).
+    let mut json = String::from("{\n  \"experiment\": \"fig09_model_accuracy\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"n_trees\": {n_trees},");
+    let _ = writeln!(json, "  \"heldout_rows\": {},", heldout.len());
+    let _ = writeln!(
+        json,
+        "  \"end_to_end\": {{\"workload\": \"wordcount_1e7\", \"forest_sim_s\": {forest_sim_s:.4}, \"analytic_sim_s\": {analytic_sim_s:.4}}},"
+    );
+    json.push_str("  \"entries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"train_size\": {}, \"linear_mse\": {:.6}, \"forest_mse\": {:.6}, \"forest_mae\": {:.6}, \"forest_q_log\": {:.4}, \"forest_q_seconds\": {:.4}}}",
+            r.train_size, r.linear.mse, r.forest.mse, r.forest.mae, r.forest.q_mean, r.forest_q_seconds
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    fs::write(root.join("BENCH_model_accuracy.json"), json)
+        .expect("write BENCH_model_accuracy.json");
+
+    if !forest_always_wins || !e2e_ok {
+        eprintln!("fig09 acceptance checks FAILED");
+        std::process::exit(1);
+    }
+}

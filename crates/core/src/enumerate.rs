@@ -30,33 +30,66 @@ use robopt_vector::{footprint_hash, EnumMatrix, FeatureLayout, Scope, NO_PLATFOR
 use crate::oracle::CostOracle;
 use crate::vectorize::{add_conversion_features, fill_singleton, ExecutionPlan};
 
-/// Enumeration options: a borrowed [`PlatformRegistry`] plus tuning flags,
-/// assembled builder-style.
+/// Enumeration options: a borrowed [`PlatformRegistry`], the cost oracle
+/// driving the search, and tuning flags, assembled builder-style.
+///
+/// The oracle travels with the options (`with_oracle`) instead of being a
+/// separate positional argument threaded through every `enumerate`/baseline
+/// call site; it is stored as `&dyn CostOracle`, so the analytic model and
+/// any `robopt_ml` model behind a `ModelOracle` adapter are interchangeable
+/// without monomorphizing the enumeration loop per model.
 ///
 /// ```
+/// # use robopt_plan::N_OPERATOR_KINDS;
 /// # use robopt_platforms::PlatformRegistry;
-/// # use robopt_core::EnumOptions;
+/// # use robopt_vector::FeatureLayout;
+/// # use robopt_core::{AnalyticOracle, EnumOptions};
 /// let registry = PlatformRegistry::uniform(3);
-/// let opts = EnumOptions::new(&registry).with_prune(true);
+/// let layout = FeatureLayout::new(3, N_OPERATOR_KINDS);
+/// let oracle = AnalyticOracle::for_registry(&registry, &layout);
+/// let opts = EnumOptions::new(&registry)
+///     .with_oracle(&oracle)
+///     .with_prune(true);
 /// assert_eq!(opts.n_platforms(), 3);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct EnumOptions<'a> {
     registry: &'a PlatformRegistry,
+    oracle: Option<&'a dyn CostOracle>,
     prune: bool,
 }
 
+impl std::fmt::Debug for EnumOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnumOptions")
+            .field("n_platforms", &self.registry.len())
+            .field("oracle_width", &self.oracle.map(|o| o.width()))
+            .field("prune", &self.prune)
+            .finish()
+    }
+}
+
 impl<'a> EnumOptions<'a> {
-    /// Options over `registry` with Def-2 boundary pruning enabled.
+    /// Options over `registry` with Def-2 boundary pruning enabled and no
+    /// cost oracle yet (set one with [`EnumOptions::with_oracle`] before
+    /// enumerating).
     pub fn new(registry: &'a PlatformRegistry) -> Self {
         EnumOptions {
             registry,
+            oracle: None,
             prune: true,
         }
     }
 
-    /// Toggle Def-2 boundary pruning (lossless). Disabling it makes the
-    /// search space grow as `k^n`; only sensible for tiny test plans.
+    /// Set the cost oracle the enumeration ranks candidate rows with.
+    pub fn with_oracle(mut self, oracle: &'a dyn CostOracle) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Toggle Def-2 boundary pruning (lossless under a linear oracle).
+    /// Disabling it makes the search space grow as `k^n`; only sensible for
+    /// tiny test plans.
     pub fn with_prune(mut self, prune: bool) -> Self {
         self.prune = prune;
         self
@@ -66,6 +99,14 @@ impl<'a> EnumOptions<'a> {
     #[inline]
     pub fn registry(&self) -> &'a PlatformRegistry {
         self.registry
+    }
+
+    /// The cost oracle. Panics when none was set — enumeration cannot rank
+    /// candidates without one.
+    #[inline]
+    pub fn oracle(&self) -> &'a dyn CostOracle {
+        self.oracle
+            .expect("EnumOptions::with_oracle: enumeration requires a cost oracle")
     }
 
     /// Whether Def-2 boundary pruning is enabled.
@@ -233,22 +274,30 @@ impl Enumerator {
     }
 
     /// Run Algorithm 1. The plan must be sealed and connected; the layout's
-    /// platform dimension must match the registry carried by `opts`.
+    /// platform dimension must match the registry carried by `opts`, and the
+    /// oracle carried by `opts` must expect the layout's row width.
     pub fn enumerate(
         &mut self,
         plan: &LogicalPlan,
         layout: &FeatureLayout,
-        oracle: &dyn CostOracle,
         opts: EnumOptions<'_>,
     ) -> (ExecutionPlan, EnumStats) {
         let n = plan.n_ops();
         let registry = opts.registry();
+        let oracle = opts.oracle();
         let k = registry.len();
         assert!(n >= 1, "empty plan");
         assert_eq!(
             k, layout.n_platforms,
             "feature layout sized for {} platforms but the registry holds {k}",
             layout.n_platforms
+        );
+        assert_eq!(
+            oracle.width(),
+            layout.width,
+            "cost oracle expects rows of width {} but the layout produces {}",
+            oracle.width(),
+            layout.width
         );
         assert!(plan.is_connected(), "enumeration requires a connected plan");
         let mut stats = EnumStats::default();
@@ -471,8 +520,9 @@ mod tests {
         Enumerator::new().enumerate(
             plan,
             &layout,
-            &oracle,
-            EnumOptions::new(&registry).with_prune(prune),
+            EnumOptions::new(&registry)
+                .with_oracle(&oracle)
+                .with_prune(prune),
         )
     }
 
@@ -502,8 +552,11 @@ mod tests {
         let registry = PlatformRegistry::uniform(2);
         let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
         let oracle = AnalyticOracle::for_registry(&registry, &layout);
-        let (exec, _) =
-            Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
+        let (exec, _) = Enumerator::new().enumerate(
+            &plan,
+            &layout,
+            EnumOptions::new(&registry).with_oracle(&oracle),
+        );
         let mut feats = Vec::new();
         for p in 0..2u8 {
             vectorize_assignment(&plan, &layout, &vec![p; plan.n_ops()], &mut feats);
@@ -518,8 +571,11 @@ mod tests {
         let registry = PlatformRegistry::named();
         let layout = FeatureLayout::new(registry.len(), N_OPERATOR_KINDS);
         let oracle = AnalyticOracle::for_registry(&registry, &layout);
-        let (exec, _) =
-            Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
+        let (exec, _) = Enumerator::new().enumerate(
+            &plan,
+            &layout,
+            EnumOptions::new(&registry).with_oracle(&oracle),
+        );
         assert!(exec.cost.is_finite());
         for (op, &p) in exec.assignments.iter().enumerate() {
             assert!(
@@ -553,12 +609,24 @@ mod tests {
         plan.seal();
         let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
         let oracle = AnalyticOracle::for_registry(&registry, &layout);
-        let (exec, _) =
-            Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
+        let (exec, _) = Enumerator::new().enumerate(
+            &plan,
+            &layout,
+            EnumOptions::new(&registry).with_oracle(&oracle),
+        );
         assert_eq!(
             exec.distinct_platforms(),
             1,
             "disconnected COT must force a single-platform plan"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a cost oracle")]
+    fn enumeration_without_an_oracle_is_rejected() {
+        let plan = workloads::wordcount(1e5);
+        let registry = PlatformRegistry::uniform(2);
+        let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
+        Enumerator::new().enumerate(&plan, &layout, EnumOptions::new(&registry));
     }
 }

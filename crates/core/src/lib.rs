@@ -1,8 +1,9 @@
 //! `robopt-core`: the vector-based optimizer.
 //!
-//! * [`oracle`] — the pluggable batched [`oracle::CostOracle`] trait and
-//!   the registry-derived analytic oracle used until the random forest
-//!   lands;
+//! * [`oracle`] — the pluggable batched, object-safe [`oracle::CostOracle`]
+//!   trait (analytic model, learned `robopt_ml` models behind their
+//!   `ModelOracle` adapter, and test doubles all ride behind
+//!   `&dyn CostOracle`) and the registry-derived analytic oracle;
 //! * [`vectorize`] — whole-plan and singleton Fig-5 encodings, conversion
 //!   features, and `unvectorize` back to an executable platform assignment
 //!   over [`robopt_platforms::PlatformId`]s;

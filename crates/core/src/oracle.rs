@@ -20,7 +20,19 @@ use robopt_platforms::PlatformRegistry;
 use robopt_vector::{FeatureLayout, RowsView};
 
 /// A cost model consuming plan-vector rows.
+///
+/// Object-safe by design: enumerators and baselines take `&dyn CostOracle`,
+/// so the analytic model, the learned forest (`robopt_ml::RandomForest`
+/// behind `robopt_ml::ModelOracle`) and test doubles are interchangeable
+/// without monomorphizing a copy of the enumeration loop per model.
 pub trait CostOracle {
+    /// Width of the feature rows this oracle expects — the
+    /// [`FeatureLayout::width`] it was built against. Both batch paths
+    /// validate incoming rows against it, killing the silent wrong-layout
+    /// class (a model trained on a 3-platform layout costing 5-platform
+    /// rows) the same way `PlatformId` killed id wraparound.
+    fn width(&self) -> usize;
+
     /// Estimated runtime cost of the (sub)plan encoded by `feats`.
     fn cost_row(&self, feats: &[f64]) -> f64;
 
@@ -28,7 +40,16 @@ pub trait CostOracle {
     /// cost of `rows.row(r)`). The default implementation loops
     /// [`CostOracle::cost_row`]; batch-capable models (the random forest,
     /// the SIMD-friendly linear oracle) override it with one flat pass.
+    /// Overrides must keep the width check (`debug_assert_eq!` against
+    /// [`CostOracle::width`]).
     fn cost_batch(&self, rows: RowsView<'_>, out: &mut Vec<f64>) {
+        debug_assert_eq!(
+            rows.width(),
+            self.width(),
+            "batch rows of width {} fed to an oracle expecting {}",
+            rows.width(),
+            self.width()
+        );
         out.clear();
         out.reserve(rows.rows());
         for r in 0..rows.rows() {
@@ -116,6 +137,11 @@ impl AnalyticOracle {
 
 impl CostOracle for AnalyticOracle {
     #[inline]
+    fn width(&self) -> usize {
+        self.weights.len()
+    }
+
+    #[inline]
     fn cost_row(&self, feats: &[f64]) -> f64 {
         debug_assert_eq!(feats.len(), self.weights.len());
         let mut acc = 0.0;
@@ -128,7 +154,13 @@ impl CostOracle for AnalyticOracle {
     /// One flat pass over the whole batch buffer — the linear-model analogue
     /// of batched forest inference.
     fn cost_batch(&self, rows: RowsView<'_>, out: &mut Vec<f64>) {
-        debug_assert_eq!(rows.width(), self.weights.len());
+        debug_assert_eq!(
+            rows.width(),
+            self.width(),
+            "batch rows of width {} fed to an oracle expecting {}",
+            rows.width(),
+            self.width()
+        );
         out.clear();
         out.reserve(rows.rows());
         for row in rows.flat().chunks_exact(self.weights.len()) {
@@ -205,6 +237,17 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "oracle expecting"))]
+    fn wrong_width_batch_is_rejected_in_debug() {
+        let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
+        let (_, oracle) = uniform_oracle(&layout);
+        let buf = vec![0.0; (layout.width + 1) * 2];
+        let mut out = Vec::new();
+        oracle.cost_batch(RowsView::new(&buf, layout.width + 1), &mut out);
+        // Release builds skip the debug_assert; the test is vacuous there.
+    }
+
+    #[test]
     #[should_panic(expected = "registry holds")]
     fn layout_registry_size_mismatch_is_rejected() {
         let layout = FeatureLayout::new(3, N_OPERATOR_KINDS);
@@ -216,6 +259,9 @@ mod tests {
     fn default_and_overridden_cost_batch_agree() {
         struct RowOnly(AnalyticOracle);
         impl CostOracle for RowOnly {
+            fn width(&self) -> usize {
+                self.0.width()
+            }
             fn cost_row(&self, feats: &[f64]) -> f64 {
                 self.0.cost_row(feats)
             }

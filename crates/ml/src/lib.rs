@@ -1,11 +1,34 @@
-//! `robopt-ml`: dense-matrix mini-linalg, CART regression trees, a bagged
-//! random forest (the paper's cost model), linear-regression baseline and
-//! accuracy metrics.
+//! `robopt-ml`: the learned cost model (paper §IV-C, §V, Fig 9).
 //!
-//! **Stub** — lands in a later PR (see ROADMAP.md "Open items"). Until
-//! then, `robopt_core::AnalyticOracle` implements the `CostOracle` trait
-//! the forest will plug into.
+//! * [`model`] — the [`Model`] estimator contract (fit / predict over flat
+//!   row-major matrices) and [`ModelOracle`], the adapter that puts any
+//!   fitted model behind `&dyn robopt_core::CostOracle` so it can drive
+//!   enumeration interchangeably with the analytic oracle;
+//! * [`tree`] — CART regression trees: variance-reduction splits over
+//!   [`robopt_vector::RowsView`] columns, flat struct-of-arrays storage;
+//! * [`forest`] — bagged random forest: bootstrap sampling, per-split
+//!   feature subsampling, thread-parallel deterministic training, batched
+//!   allocation-free inference;
+//! * [`linreg`] — closed-form ridge linear regression, the baseline the
+//!   forest must beat (Fig 9);
+//! * [`metrics`] — MSE / MAE / q-error accuracy reports;
+//! * [`training`] — the TDGEN stand-in: simulator-labelled training sets
+//!   over the workload pool, with `ln(1 + seconds)` fit targets.
+//!
+//! Everything is dependency-free: randomness comes from
+//! `robopt_plan::rng::SplitMix64`, parallelism from `std::thread::scope`,
+//! and linear algebra from the in-tree Cholesky solver.
 
-/// Placeholder so dependents can reference the crate.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct Placeholder;
+pub mod forest;
+pub mod linreg;
+pub mod metrics;
+pub mod model;
+pub mod training;
+pub mod tree;
+
+pub use forest::{ForestConfig, RandomForest};
+pub use linreg::LinearModel;
+pub use metrics::{mae, mse, q_error, Metrics};
+pub use model::{Model, ModelOracle};
+pub use training::{simulator_training_set, SamplerConfig, TrainingSet};
+pub use tree::{RegressionTree, TreeConfig};

@@ -1,0 +1,127 @@
+//! Accuracy metrics for cost-model evaluation (paper §VI-B, Fig 9).
+//!
+//! MSE and MAE are computed in whatever space the caller's values live in
+//! (the training pipeline fits in `ln(1 + seconds)` space, so those two are
+//! log-space errors there). The **q-error** is the paper's scale-free
+//! ranking metric, `max(pred / actual, actual / pred)`, and is meaningful
+//! on raw seconds; both inputs are clamped to [`Q_EPS`] so zero runtimes
+//! cannot divide by zero.
+
+/// Lower clamp applied to both operands of the q-error ratio.
+pub const Q_EPS: f64 = 1e-9;
+
+/// Mean squared error. Panics if lengths differ or the slices are empty.
+pub fn mse(preds: &[f64], actuals: &[f64]) -> f64 {
+    check(preds, actuals);
+    let sum: f64 = preds
+        .iter()
+        .zip(actuals)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    sum / preds.len() as f64
+}
+
+/// Mean absolute error. Panics if lengths differ or the slices are empty.
+pub fn mae(preds: &[f64], actuals: &[f64]) -> f64 {
+    check(preds, actuals);
+    let sum: f64 = preds.iter().zip(actuals).map(|(p, a)| (p - a).abs()).sum();
+    sum / preds.len() as f64
+}
+
+/// Scale-free q-error of a single prediction:
+/// `max(pred / actual, actual / pred)` with both operands clamped to
+/// [`Q_EPS`]. Always `>= 1`; exactly `1` for a perfect prediction.
+pub fn q_error(pred: f64, actual: f64) -> f64 {
+    let p = pred.max(Q_EPS);
+    let a = actual.max(Q_EPS);
+    (p / a).max(a / p)
+}
+
+/// Aggregate accuracy report over one (predictions, actuals) pairing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    pub mse: f64,
+    pub mae: f64,
+    /// Mean q-error across the set.
+    pub q_mean: f64,
+    /// Worst (largest) q-error across the set.
+    pub q_max: f64,
+}
+
+impl Metrics {
+    /// Evaluate all four metrics in one pass over the pairing.
+    pub fn evaluate(preds: &[f64], actuals: &[f64]) -> Metrics {
+        check(preds, actuals);
+        let mut q_sum = 0.0;
+        let mut q_max = 0.0_f64;
+        for (&p, &a) in preds.iter().zip(actuals) {
+            let q = q_error(p, a);
+            q_sum += q;
+            q_max = q_max.max(q);
+        }
+        Metrics {
+            mse: mse(preds, actuals),
+            mae: mae(preds, actuals),
+            q_mean: q_sum / preds.len() as f64,
+            q_max,
+        }
+    }
+}
+
+fn check(preds: &[f64], actuals: &[f64]) {
+    assert_eq!(
+        preds.len(),
+        actuals.len(),
+        "prediction/label length mismatch"
+    );
+    assert!(!preds.is_empty(), "metrics over an empty set are undefined");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_and_mae_on_known_values() {
+        let preds = [1.0, 2.0, 4.0];
+        let actuals = [1.0, 4.0, 1.0];
+        assert!((mse(&preds, &actuals) - (0.0 + 4.0 + 9.0) / 3.0).abs() < 1e-12);
+        assert!((mae(&preds, &actuals) - (0.0 + 2.0 + 3.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_at_least_one() {
+        assert_eq!(q_error(10.0, 10.0), 1.0);
+        assert_eq!(q_error(20.0, 10.0), 2.0);
+        assert_eq!(q_error(10.0, 20.0), 2.0);
+        assert!(q_error(0.0, 1.0) >= 1.0);
+        assert!(
+            q_error(1.0, 0.0).is_finite(),
+            "zero actual must not divide by zero"
+        );
+    }
+
+    #[test]
+    fn q_error_clamps_at_eps() {
+        // Both operands at the clamp: ratio is exactly 1.
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        assert_eq!(q_error(1.0, 0.0), 1.0 / Q_EPS);
+    }
+
+    #[test]
+    fn evaluate_aggregates_all_four() {
+        let preds = [2.0, 8.0];
+        let actuals = [4.0, 4.0];
+        let m = Metrics::evaluate(&preds, &actuals);
+        assert!((m.mse - (4.0 + 16.0) / 2.0).abs() < 1e-12);
+        assert!((m.mae - 3.0).abs() < 1e-12);
+        assert!((m.q_mean - 2.0).abs() < 1e-12);
+        assert_eq!(m.q_max, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_are_rejected() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+}

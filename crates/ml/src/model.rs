@@ -1,0 +1,155 @@
+//! The estimator contract: [`Model`] (fit / predict over flat row-major
+//! matrices) and [`ModelOracle`], the adapter that lets any fitted model
+//! drive enumeration behind `&dyn robopt_core::CostOracle` (DESIGN §3).
+//!
+//! The split into two traits is deliberate: `CostOracle` is what the
+//! enumerators consume — predict-only, object-safe, batched — while
+//! `Model` adds training. `ModelOracle` bridges them, so the analytic
+//! oracle, the linear baseline and the random forest are interchangeable
+//! at every enumeration call site with no monomorphized duplicates of the
+//! enumeration loop.
+
+use robopt_core::CostOracle;
+use robopt_vector::RowsView;
+
+/// A trainable regression model over fixed-width feature rows.
+///
+/// Implementations must be deterministic: fitting twice on the same rows,
+/// labels and configuration yields a model with identical predictions.
+/// The trait is object-safe; `&dyn Model` works where needed.
+pub trait Model {
+    /// Feature width this model was fitted for. Panics if called before
+    /// [`Model::fit`].
+    fn width(&self) -> usize;
+
+    /// Fit the model on `rows` (one feature row per label). Refitting
+    /// replaces the previous state entirely.
+    fn fit(&mut self, rows: RowsView<'_>, labels: &[f64]);
+
+    /// Predict a single row of exactly [`Model::width`] features.
+    fn predict_row(&self, feats: &[f64]) -> f64;
+
+    /// Predict every row of `rows` into `out` (cleared first). The default
+    /// forwards to [`Model::predict_row`]; implementations override it when
+    /// a flat pass over the matrix is cheaper than row-at-a-time calls.
+    fn predict_batch(&self, rows: RowsView<'_>, out: &mut Vec<f64>) {
+        debug_assert_eq!(
+            rows.width(),
+            self.width(),
+            "batch rows of width {} fed to a model expecting {}",
+            rows.width(),
+            self.width()
+        );
+        out.clear();
+        out.reserve(rows.rows());
+        for r in 0..rows.rows() {
+            out.push(self.predict_row(rows.row(r)));
+        }
+    }
+}
+
+/// Adapter making any fitted [`Model`] a [`CostOracle`].
+///
+/// Predictions are used directly as costs. The training pipeline fits
+/// models on `ln(1 + seconds)` labels; the log is strictly monotone, so
+/// cost *ranking* — the only thing enumeration consumes — is preserved
+/// without converting back to seconds.
+#[derive(Debug, Clone)]
+pub struct ModelOracle<M> {
+    model: M,
+}
+
+impl<M: Model> ModelOracle<M> {
+    /// Wrap a fitted model. Panics (via [`Model::width`]) if the model has
+    /// not been fitted yet — an unfitted oracle can only mislead.
+    pub fn new(model: M) -> Self {
+        let _ = model.width();
+        ModelOracle { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Unwrap back into the model (e.g. to refit).
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+impl<M: Model> CostOracle for ModelOracle<M> {
+    fn width(&self) -> usize {
+        self.model.width()
+    }
+
+    fn cost_row(&self, feats: &[f64]) -> f64 {
+        self.model.predict_row(feats)
+    }
+
+    fn cost_batch(&self, rows: RowsView<'_>, out: &mut Vec<f64>) {
+        debug_assert_eq!(
+            rows.width(),
+            self.width(),
+            "batch rows of width {} fed to an oracle expecting {}",
+            rows.width(),
+            self.width()
+        );
+        self.model.predict_batch(rows, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal model: predicts the sum of the features.
+    struct SumModel {
+        width: Option<usize>,
+    }
+
+    impl Model for SumModel {
+        fn width(&self) -> usize {
+            self.width.expect("SumModel::fit not called")
+        }
+        fn fit(&mut self, rows: RowsView<'_>, labels: &[f64]) {
+            assert_eq!(rows.rows(), labels.len());
+            self.width = Some(rows.width());
+        }
+        fn predict_row(&self, feats: &[f64]) -> f64 {
+            feats.iter().sum()
+        }
+    }
+
+    #[test]
+    fn default_batch_matches_per_row() {
+        let feats = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let rows = RowsView::new(&feats, 2);
+        let mut m = SumModel { width: None };
+        m.fit(rows, &[0.0, 0.0, 0.0]);
+        let mut out = vec![99.0; 7]; // stale contents must be discarded
+        m.predict_batch(rows, &mut out);
+        assert_eq!(out, vec![3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn model_oracle_is_object_safe_and_forwards() {
+        let feats = [1.0, 2.0, 3.0, 4.0];
+        let rows = RowsView::new(&feats, 2);
+        let mut m = SumModel { width: None };
+        m.fit(rows, &[0.0, 0.0]);
+        let oracle = ModelOracle::new(m);
+        let dyn_oracle: &dyn CostOracle = &oracle;
+        assert_eq!(dyn_oracle.width(), 2);
+        assert_eq!(dyn_oracle.cost_row(&[5.0, 6.0]), 11.0);
+        let mut out = Vec::new();
+        dyn_oracle.cost_batch(rows, &mut out);
+        assert_eq!(out, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit not called")]
+    fn wrapping_an_unfitted_model_panics() {
+        let _ = ModelOracle::new(SumModel { width: None });
+    }
+}

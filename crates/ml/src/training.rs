@@ -1,0 +1,278 @@
+//! Simulator-labelled training data (the paper's TDGEN role, §V).
+//!
+//! [`simulator_training_set`] draws (plan, platform-assignment) pairs from
+//! a fixed pool of workload shapes, vectorizes each complete plan with the
+//! production Fig-5 encoder, and labels it with the
+//! [`RuntimeSimulator`]'s ground-truth seconds. Labels are stored as
+//! `ln(1 + seconds)`: the runtime surface spans five orders of magnitude,
+//! and fitting in log space keeps the squared-error objective from being
+//! dominated by the handful of slowest plans, while the monotone map
+//! preserves exactly the ranking the enumerator consumes.
+//!
+//! The pool mixes the Fig-1 workloads (WordCount, TPC-H Q3, synthetic
+//! pipelines) across input scales with random connected DAGs of 3–20
+//! operators, so models also see rows resembling the *small subplans* the
+//! enumerator costs mid-search, not just full-size plans.
+
+use robopt_core::vectorize::vectorize_assignment;
+use robopt_plan::rng::SplitMix64;
+use robopt_plan::{workloads, LogicalPlan};
+use robopt_platforms::{PlatformRegistry, RuntimeSimulator};
+use robopt_vector::{FeatureLayout, RowsView};
+
+/// Knobs for [`simulator_training_set`].
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Number of labelled rows to draw.
+    pub n_samples: usize,
+    /// Seed for plan choice, assignment sampling and simulator noise.
+    pub seed: u64,
+    /// Simulator noise amplitude in `[0, 1)` (0 = noiseless labels).
+    pub noise: f64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            n_samples: 2000,
+            seed: 0x007d_6e11,
+            noise: 0.05,
+        }
+    }
+}
+
+/// A labelled training matrix: `n` rows of `width` features, with labels
+/// in both log space (what models fit) and raw seconds (what q-error and
+/// end-to-end comparisons need).
+#[derive(Debug, Clone)]
+pub struct TrainingSet {
+    /// Feature row width.
+    pub width: usize,
+    /// Row-major `len() * width` feature matrix.
+    pub feats: Vec<f64>,
+    /// Fit targets: `ln(1 + seconds)` per row.
+    pub labels: Vec<f64>,
+    /// Raw simulated runtime in seconds per row.
+    pub seconds: Vec<f64>,
+}
+
+impl TrainingSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True iff the set has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Borrow the feature matrix as a [`RowsView`].
+    pub fn rows_view(&self) -> RowsView<'_> {
+        RowsView::new(&self.feats, self.width)
+    }
+
+    /// The first `n` rows as an independent set — the Fig-9 sweep trains
+    /// on growing prefixes of one draw so that each size strictly extends
+    /// the previous one.
+    pub fn truncated(&self, n: usize) -> TrainingSet {
+        assert!(
+            n <= self.len(),
+            "cannot truncate {} rows to {n}",
+            self.len()
+        );
+        TrainingSet {
+            width: self.width,
+            feats: self.feats[..n * self.width].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            seconds: self.seconds[..n].to_vec(),
+        }
+    }
+
+    /// Convert a log-space prediction back to seconds (inverse of the
+    /// label transform, clamped at zero).
+    pub fn label_to_seconds(label: f64) -> f64 {
+        (label.exp() - 1.0).max(0.0)
+    }
+}
+
+/// The fixed plan pool the sampler cycles through.
+fn plan_pool(rng: &mut SplitMix64) -> Vec<LogicalPlan> {
+    let mut pool = vec![
+        workloads::wordcount(1e4),
+        workloads::wordcount(1e5),
+        workloads::wordcount(1e6),
+        workloads::wordcount(1e7),
+        workloads::wordcount(1e8),
+        workloads::tpch_q3(1e4),
+        workloads::tpch_q3(1e5),
+        workloads::tpch_q3(1e6),
+        workloads::synthetic_pipeline(10, 1e6),
+        workloads::synthetic_pipeline(20, 1e5),
+        workloads::synthetic_pipeline(40, 1e4),
+    ];
+    for n in [3, 5, 8, 12, 16, 20] {
+        pool.push(workloads::random_connected_dag(rng, n, 0.15));
+    }
+    pool
+}
+
+/// Draw one *feasible* platform assignment for `plan`: half the draws
+/// place everything on one random base platform (falling back per
+/// operator where it lacks the kind), half assign uniformly over each
+/// operator's available platforms. Returns `None` if `attempts` draws all
+/// came out infeasible (no conversion path between some pair).
+fn sample_assignment(
+    plan: &LogicalPlan,
+    registry: &PlatformRegistry,
+    sim: &RuntimeSimulator<'_>,
+    rng: &mut SplitMix64,
+    attempts: usize,
+) -> Option<(Vec<u8>, f64)> {
+    let k = registry.len();
+    let mut assign = vec![0u8; plan.n_ops()];
+    for _ in 0..attempts {
+        let base = if rng.next_f64() < 0.5 {
+            Some(rng.gen_range(k))
+        } else {
+            None
+        };
+        for op in 0..plan.n_ops() as u32 {
+            let kind = plan.op(op).kind;
+            let avail: Vec<u8> = registry
+                .available_platforms(kind)
+                .map(|p| p.raw())
+                .collect();
+            debug_assert!(!avail.is_empty(), "registry leaves {kind:?} unplaceable");
+            assign[op as usize] = match base {
+                Some(b) if avail.contains(&(b as u8)) => b as u8,
+                _ => avail[rng.gen_range(avail.len())],
+            };
+        }
+        let seconds = sim.simulate_raw(plan, &assign);
+        if seconds.is_finite() {
+            return Some((assign, seconds));
+        }
+    }
+    None
+}
+
+/// Sample `cfg.n_samples` labelled plan vectors from the simulator.
+///
+/// Deterministic for a fixed `(registry, layout, cfg)`; the same config
+/// with a different seed yields an independent draw (held-out sets).
+pub fn simulator_training_set(
+    registry: &PlatformRegistry,
+    layout: &FeatureLayout,
+    cfg: &SamplerConfig,
+) -> TrainingSet {
+    assert_eq!(layout.n_platforms, registry.len());
+    let mut rng = SplitMix64::new(cfg.seed);
+    let sim = RuntimeSimulator::new(registry, cfg.seed ^ 0x5157).with_noise(cfg.noise);
+    let pool = plan_pool(&mut rng);
+    let mut set = TrainingSet {
+        width: layout.width,
+        feats: Vec::with_capacity(cfg.n_samples * layout.width),
+        labels: Vec::with_capacity(cfg.n_samples),
+        seconds: Vec::with_capacity(cfg.n_samples),
+    };
+    let mut feats_buf = Vec::new();
+    let mut i = 0usize;
+    while set.len() < cfg.n_samples {
+        // Round-robin over the pool keeps every workload shape equally
+        // represented at every truncation prefix.
+        let plan = &pool[i % pool.len()];
+        i += 1;
+        let Some((assign, seconds)) = sample_assignment(plan, registry, &sim, &mut rng, 16) else {
+            continue;
+        };
+        vectorize_assignment(plan, layout, &assign, &mut feats_buf);
+        set.feats.extend_from_slice(&feats_buf);
+        set.labels.push(seconds.ln_1p());
+        set.seconds.push(seconds);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robopt_plan::N_OPERATOR_KINDS;
+
+    fn named_setup() -> (PlatformRegistry, FeatureLayout) {
+        let registry = PlatformRegistry::named();
+        let layout = FeatureLayout::new(registry.len(), N_OPERATOR_KINDS);
+        (registry, layout)
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_fills_the_request() {
+        let (registry, layout) = named_setup();
+        let cfg = SamplerConfig {
+            n_samples: 64,
+            ..SamplerConfig::default()
+        };
+        let a = simulator_training_set(&registry, &layout, &cfg);
+        let b = simulator_training_set(&registry, &layout, &cfg);
+        assert_eq!(a.len(), 64);
+        assert_eq!(a.feats, b.feats);
+        assert_eq!(a.labels, b.labels);
+        assert!(a.seconds.iter().all(|s| s.is_finite() && *s > 0.0));
+    }
+
+    #[test]
+    fn different_seeds_draw_different_sets() {
+        let (registry, layout) = named_setup();
+        let a = simulator_training_set(
+            &registry,
+            &layout,
+            &SamplerConfig {
+                n_samples: 32,
+                seed: 1,
+                noise: 0.0,
+            },
+        );
+        let b = simulator_training_set(
+            &registry,
+            &layout,
+            &SamplerConfig {
+                n_samples: 32,
+                seed: 2,
+                noise: 0.0,
+            },
+        );
+        assert_ne!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn truncation_is_a_strict_prefix() {
+        let (registry, layout) = named_setup();
+        let cfg = SamplerConfig {
+            n_samples: 48,
+            ..SamplerConfig::default()
+        };
+        let full = simulator_training_set(&registry, &layout, &cfg);
+        let half = full.truncated(24);
+        assert_eq!(half.len(), 24);
+        assert_eq!(half.feats, full.feats[..24 * full.width]);
+        assert_eq!(half.labels, full.labels[..24]);
+    }
+
+    #[test]
+    fn labels_are_log_transformed_seconds() {
+        let (registry, layout) = named_setup();
+        let set = simulator_training_set(
+            &registry,
+            &layout,
+            &SamplerConfig {
+                n_samples: 16,
+                seed: 9,
+                noise: 0.0,
+            },
+        );
+        for (label, seconds) in set.labels.iter().zip(&set.seconds) {
+            assert!((label - seconds.ln_1p()).abs() < 1e-12);
+            assert!((TrainingSet::label_to_seconds(*label) - seconds).abs() < 1e-9 * seconds);
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! CART regression tree: variance-reduction splits over [`RowsView`]
+//! columns, flat struct-of-arrays node storage, deterministic fit.
+//!
+//! The tree is the forest's base learner. Fitting works on an explicit
+//! node stack over a reusable index buffer — no recursion, no per-node
+//! allocation beyond the shared scratch. Split search is deterministic:
+//! candidate columns are visited in ascending order and rows are sorted by
+//! `(feature value, row index)`, so equal-gain ties always resolve the
+//! same way regardless of prior calls.
+
+use robopt_plan::rng::SplitMix64;
+use robopt_vector::RowsView;
+
+use crate::model::Model;
+
+/// Sentinel column id marking a leaf node.
+const LEAF: u32 = u32::MAX;
+
+/// Stopping and randomization knobs for a single [`RegressionTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum node depth (root is depth 0).
+    pub max_depth: usize,
+    /// Nodes with fewer samples become leaves.
+    pub min_samples_split: usize,
+    /// A split is admissible only if both children keep at least this many.
+    pub min_samples_leaf: usize,
+    /// Number of feature columns tried per split (`mtry`); `None` tries
+    /// every column (plain CART), `Some(m)` samples `m` without
+    /// replacement per node — the forest's decorrelation lever.
+    pub feature_candidates: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 14,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            feature_candidates: None,
+        }
+    }
+}
+
+/// A fitted CART regression tree in flat struct-of-arrays form.
+///
+/// Node `i` is a leaf iff `split_col[i] == u32::MAX`; internal nodes route
+/// `row[split_col] <= threshold` left, else right.
+#[derive(Debug, Clone, Default)]
+pub struct RegressionTree {
+    width: usize,
+    split_col: Vec<u32>,
+    threshold: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    value: Vec<f64>,
+}
+
+/// One pending node during fitting: its slice of the shared index buffer.
+struct PendingNode {
+    node: usize,
+    start: usize,
+    end: usize,
+    depth: usize,
+}
+
+impl RegressionTree {
+    /// Fit a tree on the rows selected by `idx` (indices into `rows`, with
+    /// repeats allowed — the forest passes bootstrap samples directly).
+    /// `rng` drives per-node feature subsampling only; with
+    /// `feature_candidates: None` it is never consulted.
+    pub fn fit_on_indices(
+        config: &TreeConfig,
+        rows: RowsView<'_>,
+        labels: &[f64],
+        idx: &[u32],
+        rng: &mut SplitMix64,
+    ) -> RegressionTree {
+        assert_eq!(rows.rows(), labels.len(), "one label per feature row");
+        assert!(!idx.is_empty(), "cannot fit a tree on zero samples");
+        assert!(
+            config.min_samples_leaf >= 1,
+            "leaves need at least one sample"
+        );
+        let width = rows.width();
+        let mut tree = RegressionTree {
+            width,
+            ..RegressionTree::default()
+        };
+        let mut order: Vec<u32> = idx.to_vec();
+        // Scratch reused by every split search: (feature value, row id).
+        let mut sorted: Vec<(f64, u32)> = Vec::with_capacity(order.len());
+        // Scratch reused by every partition (right-child spill buffer).
+        let mut spill: Vec<u32> = Vec::with_capacity(order.len());
+        let mut cols: Vec<usize> = (0..width).collect();
+        let root = tree.push_leaf(mean_label(labels, &order));
+        let mut stack = vec![PendingNode {
+            node: root,
+            start: 0,
+            end: order.len(),
+            depth: 0,
+        }];
+        while let Some(pending) = stack.pop() {
+            let span = &order[pending.start..pending.end];
+            let n = span.len();
+            if pending.depth >= config.max_depth || n < config.min_samples_split {
+                continue; // stays the leaf it was pushed as
+            }
+            let (total_sum, total_sse) = sum_and_sse(labels, span);
+            if total_sse <= 1e-12 {
+                continue; // pure node: nothing to reduce
+            }
+            let candidates = Self::pick_candidates(config, &mut cols, rng);
+            let mut best: Option<Split> = None;
+            for &col in candidates {
+                sorted.clear();
+                sorted.extend(span.iter().map(|&r| (rows.value(r as usize, col), r)));
+                // Sort by (value, row index): total order ⇒ deterministic
+                // prefix scan and threshold choice under ties.
+                sorted.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                let mut left_sum = 0.0;
+                let mut left_sq = 0.0;
+                for i in 0..n - 1 {
+                    let y = labels[sorted[i].1 as usize];
+                    left_sum += y;
+                    left_sq += y * y;
+                    let n_left = i + 1;
+                    let n_right = n - n_left;
+                    if n_left < config.min_samples_leaf || n_right < config.min_samples_leaf {
+                        continue;
+                    }
+                    if sorted[i].0 == sorted[i + 1].0 {
+                        continue; // cannot separate equal feature values
+                    }
+                    let right_sum = total_sum - left_sum;
+                    let left_sse = left_sq - left_sum * left_sum / n_left as f64;
+                    // SSE(right) via the parent identity saves a second pass.
+                    let right_sse = (total_sse + total_sum * total_sum / n as f64 - left_sq)
+                        - right_sum * right_sum / n_right as f64;
+                    let gain = total_sse - left_sse - right_sse;
+                    // Strict `>` keeps the first (lowest column, lowest
+                    // threshold) of any equal-gain candidates.
+                    if gain > 1e-12 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                        best = Some(Split {
+                            gain,
+                            col,
+                            threshold: midpoint(sorted[i].0, sorted[i + 1].0),
+                        });
+                    }
+                }
+            }
+            let Some(split) = best else { continue };
+            // Stable partition of the node's index span around the split:
+            // compact left rows forward, spill right rows to scratch.
+            spill.clear();
+            let mut write = pending.start;
+            for i in pending.start..pending.end {
+                let r = order[i];
+                if rows.value(r as usize, split.col) <= split.threshold {
+                    order[write] = r;
+                    write += 1;
+                } else {
+                    spill.push(r);
+                }
+            }
+            let mid = write;
+            order[mid..pending.end].copy_from_slice(&spill);
+            let left_node = tree.push_leaf(mean_label(labels, &order[pending.start..mid]));
+            let right_node = tree.push_leaf(mean_label(labels, &order[mid..pending.end]));
+            tree.split_col[pending.node] = split.col as u32;
+            tree.threshold[pending.node] = split.threshold;
+            tree.left[pending.node] = left_node as u32;
+            tree.right[pending.node] = right_node as u32;
+            stack.push(PendingNode {
+                node: right_node,
+                start: mid,
+                end: pending.end,
+                depth: pending.depth + 1,
+            });
+            stack.push(PendingNode {
+                node: left_node,
+                start: pending.start,
+                end: mid,
+                depth: pending.depth + 1,
+            });
+        }
+        tree
+    }
+
+    /// The candidate columns for one node: all of them, or `m` sampled
+    /// without replacement (partial Fisher-Yates over the shared buffer),
+    /// returned sorted ascending for deterministic visit order.
+    fn pick_candidates<'c>(
+        config: &TreeConfig,
+        cols: &'c mut [usize],
+        rng: &mut SplitMix64,
+    ) -> &'c [usize] {
+        match config.feature_candidates {
+            None => cols,
+            Some(m) => {
+                let m = m.clamp(1, cols.len());
+                for i in 0..m {
+                    let j = i + rng.gen_range(cols.len() - i);
+                    cols.swap(i, j);
+                }
+                cols[..m].sort_unstable();
+                &cols[..m]
+            }
+        }
+    }
+
+    fn push_leaf(&mut self, value: f64) -> usize {
+        self.split_col.push(LEAF);
+        self.threshold.push(0.0);
+        self.left.push(0);
+        self.right.push(0);
+        self.value.push(value);
+        self.split_col.len() - 1
+    }
+
+    /// Number of nodes (internal + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.split_col.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.split_col.iter().filter(|&&c| c == LEAF).count()
+    }
+
+    /// Predict one row by walking root → leaf.
+    #[inline]
+    pub fn predict(&self, feats: &[f64]) -> f64 {
+        debug_assert_eq!(feats.len(), self.width);
+        let mut node = 0usize;
+        loop {
+            let col = self.split_col[node];
+            if col == LEAF {
+                return self.value[node];
+            }
+            node = if feats[col as usize] <= self.threshold[node] {
+                self.left[node] as usize
+            } else {
+                self.right[node] as usize
+            };
+        }
+    }
+}
+
+impl Model for RegressionTree {
+    fn width(&self) -> usize {
+        assert!(!self.split_col.is_empty(), "RegressionTree::fit not called");
+        self.width
+    }
+
+    fn fit(&mut self, rows: RowsView<'_>, labels: &[f64]) {
+        let idx: Vec<u32> = (0..rows.rows() as u32).collect();
+        let mut rng = SplitMix64::new(0);
+        *self =
+            RegressionTree::fit_on_indices(&TreeConfig::default(), rows, labels, &idx, &mut rng);
+    }
+
+    fn predict_row(&self, feats: &[f64]) -> f64 {
+        self.predict(feats)
+    }
+}
+
+struct Split {
+    gain: f64,
+    col: usize,
+    threshold: f64,
+}
+
+/// Midpoint threshold that is guaranteed to separate `lo < hi` even when
+/// they are adjacent floats (the naive average can round back onto `hi`).
+fn midpoint(lo: f64, hi: f64) -> f64 {
+    let mid = lo + (hi - lo) * 0.5;
+    if mid < hi {
+        mid
+    } else {
+        lo
+    }
+}
+
+fn mean_label(labels: &[f64], idx: &[u32]) -> f64 {
+    let sum: f64 = idx.iter().map(|&r| labels[r as usize]).sum();
+    sum / idx.len() as f64
+}
+
+/// Sum and sum of squared deviations (SSE) of the selected labels.
+fn sum_and_sse(labels: &[f64], idx: &[u32]) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut sq = 0.0;
+    for &r in idx {
+        let y = labels[r as usize];
+        sum += y;
+        sq += y * y;
+    }
+    (sum, sq - sum * sum / idx.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit_all(config: &TreeConfig, feats: &[f64], width: usize, labels: &[f64]) -> RegressionTree {
+        let rows = RowsView::new(feats, width);
+        let idx: Vec<u32> = (0..rows.rows() as u32).collect();
+        let mut rng = SplitMix64::new(7);
+        RegressionTree::fit_on_indices(config, rows, labels, &idx, &mut rng)
+    }
+
+    #[test]
+    fn learns_a_step_function_exactly() {
+        // y = 0 for x < 5, y = 10 for x >= 5: one split suffices.
+        let feats: Vec<f64> = (0..10).map(f64::from).collect();
+        let labels: Vec<f64> = feats
+            .iter()
+            .map(|&x| if x < 5.0 { 0.0 } else { 10.0 })
+            .collect();
+        let cfg = TreeConfig {
+            min_samples_leaf: 1,
+            min_samples_split: 2,
+            ..TreeConfig::default()
+        };
+        let tree = fit_all(&cfg, &feats, 1, &labels);
+        for (x, y) in feats.iter().zip(&labels) {
+            assert_eq!(tree.predict(&[*x]), *y);
+        }
+        assert_eq!(tree.n_leaves(), 2, "a single split explains the step");
+    }
+
+    #[test]
+    fn respects_max_depth_zero() {
+        let feats: Vec<f64> = (0..8).map(f64::from).collect();
+        let labels = feats.clone();
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let tree = fit_all(&cfg, &feats, 1, &labels);
+        assert_eq!(tree.n_nodes(), 1);
+        let mean = labels.iter().sum::<f64>() / labels.len() as f64;
+        assert!((tree.predict(&[3.0]) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splits_on_the_informative_column() {
+        // Column 0 is noise-free signal, column 1 is constant.
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..16 {
+            feats.extend_from_slice(&[f64::from(i), 42.0]);
+            labels.push(if i < 8 { -1.0 } else { 1.0 });
+        }
+        let tree = fit_all(&TreeConfig::default(), &feats, 2, &labels);
+        assert_eq!(tree.split_col[0], 0, "root must split the signal column");
+        assert_eq!(tree.predict(&[2.0, 42.0]), -1.0);
+        assert_eq!(tree.predict(&[13.0, 42.0]), 1.0);
+    }
+
+    #[test]
+    fn refitting_identical_inputs_is_deterministic() {
+        let mut rng = SplitMix64::new(99);
+        let n = 64;
+        let width = 5;
+        let feats: Vec<f64> = (0..n * width).map(|_| rng.next_f64()).collect();
+        let labels: Vec<f64> = (0..n).map(|_| rng.next_f64() * 10.0).collect();
+        let cfg = TreeConfig {
+            feature_candidates: Some(2),
+            ..TreeConfig::default()
+        };
+        let rows = RowsView::new(&feats, width);
+        let idx: Vec<u32> = (0..n as u32).collect();
+        let a = RegressionTree::fit_on_indices(&cfg, rows, &labels, &idx, &mut SplitMix64::new(5));
+        let b = RegressionTree::fit_on_indices(&cfg, rows, &labels, &idx, &mut SplitMix64::new(5));
+        assert_eq!(a.split_col, b.split_col);
+        assert_eq!(a.threshold, b.threshold);
+        assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn midpoint_always_separates() {
+        let lo = 1.0_f64;
+        let hi = lo + f64::EPSILON; // adjacent representable values near 1
+        let m = midpoint(lo, hi);
+        assert!(lo <= m && m < hi);
+    }
+}

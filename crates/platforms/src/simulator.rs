@@ -105,11 +105,27 @@ impl<'a> RuntimeSimulator<'a> {
             plan.n_ops(),
             "one platform assignment per operator"
         );
+        self.simulate_with(plan, |i| assignments[i])
+    }
+
+    /// [`RuntimeSimulator::simulate`] over raw dense platform bytes (the
+    /// encoding `EnumMatrix` rows and the ML training sampler carry) —
+    /// avoids materializing a `Vec<PlatformId>` per labelled sample.
+    pub fn simulate_raw(&self, plan: &LogicalPlan, assignments: &[u8]) -> f64 {
+        assert_eq!(
+            assignments.len(),
+            plan.n_ops(),
+            "one platform assignment per operator"
+        );
+        self.simulate_with(plan, |i| PlatformId::from_index(assignments[i] as usize))
+    }
+
+    fn simulate_with(&self, plan: &LogicalPlan, assignment: impl Fn(usize) -> PlatformId) -> f64 {
         let mut total = 0.0;
         let mut used_mask = 0u8;
         for op in 0..plan.n_ops() as u32 {
             let i = op as usize;
-            let p = assignments[i];
+            let p = assignment(i);
             let kind = plan.op(op).kind;
             if !self.registry.is_available(kind, p) {
                 return f64::INFINITY;
@@ -137,7 +153,7 @@ impl<'a> RuntimeSimulator<'a> {
             }
         }
         for &(u, v) in plan.edges() {
-            let (pu, pv) = (assignments[u as usize], assignments[v as usize]);
+            let (pu, pv) = (assignment(u as usize), assignment(v as usize));
             if pu != pv {
                 let c = self
                     .registry
@@ -194,6 +210,16 @@ mod tests {
             .simulate(&plan, &assign);
         assert_ne!(noisy_a, noisy_b, "distinct seeds must perturb noisy runs");
         assert!((noisy_a / noiseless_a - 1.0).abs() <= 0.1 + 1e-9);
+    }
+
+    #[test]
+    fn simulate_raw_matches_simulate() {
+        let reg = PlatformRegistry::named();
+        let plan = workloads::wordcount(1e6);
+        let sim = RuntimeSimulator::new(&reg, 3).with_noise(0.2);
+        let ids = uniform_assign(&reg, "spark", plan.n_ops());
+        let raw: Vec<u8> = ids.iter().map(|p| p.raw()).collect();
+        assert_eq!(sim.simulate(&plan, &ids), sim.simulate_raw(&plan, &raw));
     }
 
     #[test]

@@ -203,6 +203,28 @@ impl<'a> RowsView<'a> {
     pub fn flat(&self) -> &'a [f64] {
         self.feats
     }
+
+    /// Value of cell `(row, col)` — strided single-cell access for
+    /// column-wise consumers (the CART split search in `robopt_ml` reads one
+    /// feature across a node's rows without materializing a column buffer).
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(col < self.width, "column {col} out of range");
+        self.feats[row * self.width + col]
+    }
+
+    /// Iterator over column `col` (one value per row, in row order) — the
+    /// column view variance-reduction split search scans.
+    #[inline]
+    pub fn col(&self, col: usize) -> impl Iterator<Item = f64> + 'a {
+        assert!(col < self.width, "column {col} out of range");
+        self.feats
+            .get(col..)
+            .unwrap_or(&[])
+            .iter()
+            .step_by(self.width)
+            .copied()
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +243,17 @@ mod tests {
         assert_eq!(v.flat(), &[1.0, 2.0, 3.0, 4.0]);
         m.set_cost(1, 9.0);
         assert_eq!(m.cost(1), 9.0);
+    }
+
+    #[test]
+    fn rows_view_column_access_is_strided() {
+        let buf = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let v = RowsView::new(&buf, 3);
+        assert_eq!(v.value(0, 2), 3.0);
+        assert_eq!(v.value(1, 0), 4.0);
+        assert_eq!(v.col(1).collect::<Vec<_>>(), vec![2.0, 5.0]);
+        let empty = RowsView::new(&[], 3);
+        assert_eq!(empty.col(2).count(), 0);
     }
 
     #[test]

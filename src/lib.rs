@@ -18,8 +18,12 @@
 //! * [`robopt_platforms`] — the platform registry: descriptors,
 //!   operator-availability matrix, conversion graph (COT), and the
 //!   deterministic runtime simulator;
-//! * [`robopt_engine`], [`robopt_ml`], [`robopt_tdgen`], [`robopt_cli`] —
-//!   stubs landing in later PRs.
+//! * [`robopt_ml`] — the learned cost model: CART regression trees, the
+//!   bagged random forest, the ridge linear baseline, accuracy metrics,
+//!   and the simulator-labelled training sampler — all pluggable into
+//!   enumeration through `ModelOracle` behind `&dyn CostOracle`;
+//! * [`robopt_engine`], [`robopt_tdgen`], [`robopt_cli`] — stubs landing
+//!   in later PRs.
 
 pub use robopt_baselines as baselines;
 pub use robopt_cli as cli;
@@ -35,6 +39,10 @@ pub use robopt_vector as vector;
 pub mod prelude {
     pub use robopt_core::{
         uniform_oracle, AnalyticOracle, CostOracle, EnumOptions, EnumStats, Enumerator,
+    };
+    pub use robopt_ml::{
+        simulator_training_set, ForestConfig, LinearModel, Metrics, Model, ModelOracle,
+        RandomForest, SamplerConfig, TrainingSet,
     };
     pub use robopt_plan::{workloads, LogicalPlan, Operator, OperatorKind, SplitMix64};
     pub use robopt_platforms::{

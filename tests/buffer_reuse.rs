@@ -17,16 +17,16 @@ fn warmed_enumerator_performs_no_matrix_allocation() {
     let registry = PlatformRegistry::uniform(2);
     let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
     let oracle = AnalyticOracle::for_registry(&registry, &layout);
-    let opts = EnumOptions::new(&registry);
+    let opts = EnumOptions::new(&registry).with_oracle(&oracle);
     let mut enumerator = Enumerator::new();
 
     // Warm-up: pools and scratch buffers grow to a fixpoint (pool matrices
     // are picked best-fit, so this settles within a few runs).
-    let (cold, _) = enumerator.enumerate(&plan, &layout, &oracle, opts);
+    let (cold, _) = enumerator.enumerate(&plan, &layout, opts);
     for warmup in 0.. {
         assert!(warmup < 16, "pool capacities failed to stabilize");
         let before = robopt_vector::alloc_events();
-        enumerator.enumerate(&plan, &layout, &oracle, opts);
+        enumerator.enumerate(&plan, &layout, opts);
         if robopt_vector::alloc_events() == before {
             break;
         }
@@ -35,7 +35,7 @@ fn warmed_enumerator_performs_no_matrix_allocation() {
     let before = robopt_vector::alloc_events();
     let mut warm_cost = 0.0;
     for _ in 0..5 {
-        let (exec, stats) = enumerator.enumerate(&plan, &layout, &oracle, opts);
+        let (exec, stats) = enumerator.enumerate(&plan, &layout, opts);
         warm_cost = exec.cost;
         assert!(stats.generated > 0);
     }

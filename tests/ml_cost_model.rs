@@ -1,0 +1,190 @@
+//! Learned-cost-model integration (DESIGN §3, paper Fig 9):
+//!
+//! * batched forest inference is bit-identical to per-row prediction on
+//!   simulator-drawn plan vectors;
+//! * training is deterministic under a fixed seed — two fits produce
+//!   identical predictions despite thread-parallel tree construction;
+//! * the forest beats the ridge linear baseline on held-out
+//!   simulator-labelled plans (MSE ratio < 1);
+//! * a trained forest behind `&dyn CostOracle` drives the vectorized
+//!   enumerator end-to-end, and its chosen WordCount(1e7) plan simulates
+//!   no slower than the analytic oracle's choice.
+
+use robopt_core::{AnalyticOracle, CostOracle, EnumOptions, Enumerator};
+use robopt_ml::{
+    mse, simulator_training_set, ForestConfig, LinearModel, Model, ModelOracle, RandomForest,
+    SamplerConfig,
+};
+use robopt_plan::{workloads, N_OPERATOR_KINDS};
+use robopt_platforms::{PlatformRegistry, RuntimeSimulator};
+use robopt_vector::FeatureLayout;
+
+fn setup() -> (PlatformRegistry, FeatureLayout) {
+    let registry = PlatformRegistry::named();
+    let layout = FeatureLayout::new(registry.len(), N_OPERATOR_KINDS);
+    (registry, layout)
+}
+
+#[test]
+fn forest_batch_prediction_matches_per_row_on_plan_vectors() {
+    let (registry, layout) = setup();
+    let cfg = SamplerConfig {
+        n_samples: 300,
+        seed: 11,
+        noise: 0.05,
+    };
+    let train = simulator_training_set(&registry, &layout, &cfg);
+    let forest = RandomForest::fit(
+        &ForestConfig {
+            n_trees: 12,
+            ..ForestConfig::default()
+        },
+        train.rows_view(),
+        &train.labels,
+    );
+    let probe = simulator_training_set(
+        &registry,
+        &layout,
+        &SamplerConfig {
+            n_samples: 80,
+            seed: 12,
+            noise: 0.0,
+        },
+    );
+    let rows = probe.rows_view();
+    let mut batch = Vec::new();
+    forest.predict_batch(rows, &mut batch);
+    assert_eq!(batch.len(), rows.rows());
+    for (r, &batched) in batch.iter().enumerate() {
+        assert_eq!(
+            batched,
+            forest.predict_row(rows.row(r)),
+            "batched row {r} diverges from per-row prediction"
+        );
+    }
+}
+
+#[test]
+fn forest_training_is_deterministic_under_a_fixed_seed() {
+    let (registry, layout) = setup();
+    let train = simulator_training_set(
+        &registry,
+        &layout,
+        &SamplerConfig {
+            n_samples: 250,
+            seed: 21,
+            noise: 0.05,
+        },
+    );
+    let cfg = ForestConfig {
+        n_trees: 10,
+        seed: 777,
+        ..ForestConfig::default()
+    };
+    let a = RandomForest::fit(&cfg, train.rows_view(), &train.labels);
+    let b = RandomForest::fit(&cfg, train.rows_view(), &train.labels);
+    let probe = simulator_training_set(
+        &registry,
+        &layout,
+        &SamplerConfig {
+            n_samples: 60,
+            seed: 22,
+            noise: 0.0,
+        },
+    );
+    let (mut pa, mut pb) = (Vec::new(), Vec::new());
+    a.predict_batch(probe.rows_view(), &mut pa);
+    b.predict_batch(probe.rows_view(), &mut pb);
+    assert_eq!(pa, pb, "equal seeds must reproduce bit-identical forests");
+}
+
+#[test]
+fn forest_beats_linear_baseline_on_held_out_plans() {
+    let (registry, layout) = setup();
+    let train = simulator_training_set(
+        &registry,
+        &layout,
+        &SamplerConfig {
+            n_samples: 600,
+            seed: 31,
+            noise: 0.05,
+        },
+    );
+    let heldout = simulator_training_set(
+        &registry,
+        &layout,
+        &SamplerConfig {
+            n_samples: 200,
+            seed: 32,
+            noise: 0.0,
+        },
+    );
+    let mut linear = LinearModel::new();
+    linear.fit(train.rows_view(), &train.labels);
+    let forest = RandomForest::fit(
+        &ForestConfig {
+            n_trees: 24,
+            ..ForestConfig::default()
+        },
+        train.rows_view(),
+        &train.labels,
+    );
+    let (mut lp, mut fp) = (Vec::new(), Vec::new());
+    linear.predict_batch(heldout.rows_view(), &mut lp);
+    forest.predict_batch(heldout.rows_view(), &mut fp);
+    let (linear_mse, forest_mse) = (mse(&lp, &heldout.labels), mse(&fp, &heldout.labels));
+    assert!(
+        forest_mse < linear_mse,
+        "forest held-out MSE {forest_mse} not below linear baseline {linear_mse}"
+    );
+}
+
+#[test]
+fn trained_forest_behind_dyn_oracle_drives_enumeration_end_to_end() {
+    let (registry, layout) = setup();
+    let train = simulator_training_set(
+        &registry,
+        &layout,
+        &SamplerConfig {
+            n_samples: 600,
+            seed: 41,
+            noise: 0.05,
+        },
+    );
+    let forest = RandomForest::fit(
+        &ForestConfig {
+            n_trees: 24,
+            ..ForestConfig::default()
+        },
+        train.rows_view(),
+        &train.labels,
+    );
+    let oracle = ModelOracle::new(forest);
+    let dyn_oracle: &dyn CostOracle = &oracle;
+    assert_eq!(dyn_oracle.width(), layout.width);
+
+    let plan = workloads::wordcount(1e7);
+    let (forest_exec, stats) = Enumerator::new().enumerate(
+        &plan,
+        &layout,
+        EnumOptions::new(&registry).with_oracle(dyn_oracle),
+    );
+    assert!(stats.generated > 0);
+    let analytic = AnalyticOracle::for_registry(&registry, &layout);
+    let (analytic_exec, _) = Enumerator::new().enumerate(
+        &plan,
+        &layout,
+        EnumOptions::new(&registry).with_oracle(&analytic),
+    );
+
+    // Ground truth: the simulator the training labels came from (noise
+    // off — both plans judged on the clean surface).
+    let sim = RuntimeSimulator::new(&registry, 42);
+    let forest_s = sim.simulate(&plan, &forest_exec.assignments);
+    let analytic_s = sim.simulate(&plan, &analytic_exec.assignments);
+    assert!(forest_s.is_finite(), "forest picked an unexecutable plan");
+    assert!(
+        forest_s <= analytic_s * (1.0 + 1e-9),
+        "forest-picked plan ({forest_s:.2}s) slower than analytic pick ({analytic_s:.2}s)"
+    );
+}

@@ -63,7 +63,8 @@ fn simulator_is_deterministic_under_a_fixed_seed() {
     let plan = workloads::tpch_q3(1e6);
     let layout = FeatureLayout::new(reg.len(), N_OPERATOR_KINDS);
     let oracle = AnalyticOracle::for_registry(&reg, &layout);
-    let (exec, _) = Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&reg));
+    let opts = EnumOptions::new(&reg).with_oracle(&oracle);
+    let (exec, _) = Enumerator::new().enumerate(&plan, &layout, opts);
 
     for noise in [0.0, 0.2] {
         let a = RuntimeSimulator::new(&reg, 7).with_noise(noise);
@@ -121,9 +122,9 @@ fn uniform_registry_enumeration_matches_dense_id_optimum() {
         let reg = PlatformRegistry::uniform(k);
         let layout = FeatureLayout::new(k, N_OPERATOR_KINDS);
         let oracle = AnalyticOracle::for_registry(&reg, &layout);
-        let brute = exhaustive_best(&plan, &layout, &oracle, &reg);
-        let (fast, stats) =
-            Enumerator::new().enumerate(&plan, &layout, &oracle, EnumOptions::new(&reg));
+        let opts = EnumOptions::new(&reg).with_oracle(&oracle);
+        let brute = exhaustive_best(&plan, &layout, opts);
+        let (fast, stats) = Enumerator::new().enumerate(&plan, &layout, opts);
         let tol = 1e-9 * brute.cost.abs().max(1.0);
         assert!(
             (fast.cost - brute.cost).abs() <= tol,

@@ -24,11 +24,11 @@ fn pruned_priority_enumeration_matches_exhaustive_optimum() {
         let registry = PlatformRegistry::uniform(k);
         let layout = FeatureLayout::new(k, N_OPERATOR_KINDS);
         let oracle = AnalyticOracle::for_registry(&registry, &layout);
+        let opts = EnumOptions::new(&registry).with_oracle(&oracle);
 
-        let brute = exhaustive_best(&plan, &layout, &oracle, &registry);
-        let (pruned, stats) =
-            vector_enum.enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
-        let object = object_enum.enumerate(&plan, &layout, &oracle, &registry);
+        let brute = exhaustive_best(&plan, &layout, opts);
+        let (pruned, stats) = vector_enum.enumerate(&plan, &layout, opts);
+        let object = object_enum.enumerate(&plan, &layout, opts);
 
         let tol = 1e-9 * brute.cost.abs().max(1.0);
         assert!(

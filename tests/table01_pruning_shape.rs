@@ -22,8 +22,8 @@ fn pruned_counts_grow_n_k_squared_exhaustive_grows_k_to_n() {
             let registry = PlatformRegistry::uniform(k);
             let layout = FeatureLayout::new(k, N_OPERATOR_KINDS);
             let oracle = AnalyticOracle::for_registry(&registry, &layout);
-            let (_, stats) =
-                enumerator.enumerate(&plan, &layout, &oracle, EnumOptions::new(&registry));
+            let opts = EnumOptions::new(&registry).with_oracle(&oracle);
+            let (_, stats) = enumerator.enumerate(&plan, &layout, opts);
             let bound = (n * k + (n - 1) * k * k) as u64;
             assert!(
                 stats.kept <= bound,
