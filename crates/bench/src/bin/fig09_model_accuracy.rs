@@ -2,9 +2,10 @@
 //! closed-form linear baseline, over growing training-set sizes, plus the
 //! end-to-end check that the forest actually steers enumeration well.
 //!
-//! Training and held-out sets are drawn from the deterministic
-//! [`robopt_platforms::RuntimeSimulator`] (the paper's TDGEN role): plans
-//! from the workload pool, feasible platform assignments, labels in
+//! Training and held-out sets come from the direct-labelling
+//! `robopt_ml::SimulatorSource` (one simulator call per row; see
+//! `fig08_tdgen` for the interpolating TDGEN source): plans from the
+//! workload pool, feasible platform assignments, labels in
 //! `ln(1 + seconds)`. The forest must beat the linear model's held-out
 //! MSE at **every** training size, and the plan it picks for
 //! WordCount(1e7) behind `&dyn CostOracle` must simulate no slower than
@@ -68,21 +69,15 @@ fn main() {
     let train = simulator_training_set(
         &registry,
         &layout,
-        &SamplerConfig {
-            n_samples: max_size,
-            seed: TRAIN_SEED,
-            noise: 0.05,
-        },
+        &SamplerConfig::new().with_seed(TRAIN_SEED).with_noise(0.05),
+        max_size,
     );
     // Held-out: independent seed, noiseless labels = clean ground truth.
     let heldout = simulator_training_set(
         &registry,
         &layout,
-        &SamplerConfig {
-            n_samples: heldout_n,
-            seed: HELDOUT_SEED,
-            noise: 0.0,
-        },
+        &SamplerConfig::new().with_seed(HELDOUT_SEED).with_noise(0.0),
+        heldout_n,
     );
 
     let forest_cfg = ForestConfig {
@@ -94,8 +89,8 @@ fn main() {
     for &n in sizes {
         let subset = train.truncated(n);
         let mut linear = LinearModel::new();
-        linear.fit(subset.rows_view(), &subset.labels);
-        let forest = RandomForest::fit(&forest_cfg, subset.rows_view(), &subset.labels);
+        linear.fit_set(&subset);
+        let forest = RandomForest::fit_on(&forest_cfg, &subset);
         let (linear_m, _) = eval_model(&linear, &heldout);
         let (forest_m, forest_q) = eval_model(&forest, &heldout);
         rows.push(SweepRow {

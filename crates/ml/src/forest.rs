@@ -105,6 +105,13 @@ impl RandomForest {
         }
     }
 
+    /// Fit a forest on a [`crate::source::TrainingSet`] under `config` —
+    /// the configured counterpart of [`crate::model::Model::fit_set`]
+    /// (which cannot carry a config through the object-safe trait).
+    pub fn fit_on(config: &ForestConfig, set: &crate::source::TrainingSet) -> RandomForest {
+        RandomForest::fit(config, set.rows_view(), &set.labels)
+    }
+
     /// Number of trees in the ensemble.
     pub fn n_trees(&self) -> usize {
         self.trees.len()

@@ -11,9 +11,14 @@
 //!   allocation-free inference;
 //! * [`linreg`] — closed-form ridge linear regression, the baseline the
 //!   forest must beat (Fig 9);
-//! * [`metrics`] — MSE / MAE / q-error accuracy reports;
-//! * [`training`] — the TDGEN stand-in: simulator-labelled training sets
-//!   over the workload pool, with `ln(1 + seconds)` fit targets.
+//! * [`metrics`] — MSE / MAE / q-error / Spearman / R² accuracy reports;
+//! * [`source`] — the training-data contract: [`TrainingSet`] (labelled
+//!   plan-vector matrix carrying its [`robopt_vector::FeatureLayout`]) and
+//!   the object-safe [`TrainingSource`] trait every label generator
+//!   implements;
+//! * [`training`] — [`SimulatorSource`], the direct-labelling source (one
+//!   simulator call per row) that TDGEN's interpolated generation is
+//!   measured against, with `ln(1 + seconds)` fit targets.
 //!
 //! Everything is dependency-free: randomness comes from
 //! `robopt_plan::rng::SplitMix64`, parallelism from `std::thread::scope`,
@@ -23,12 +28,14 @@ pub mod forest;
 pub mod linreg;
 pub mod metrics;
 pub mod model;
+pub mod source;
 pub mod training;
 pub mod tree;
 
 pub use forest::{ForestConfig, RandomForest};
 pub use linreg::LinearModel;
-pub use metrics::{mae, mse, q_error, Metrics};
+pub use metrics::{mae, mse, q_error, r_squared, spearman, Metrics};
 pub use model::{Model, ModelOracle};
-pub use training::{simulator_training_set, SamplerConfig, TrainingSet};
+pub use source::{TrainingSet, TrainingSource};
+pub use training::{simulator_training_set, SamplerConfig, SimulatorSource};
 pub use tree::{RegressionTree, TreeConfig};

@@ -1,11 +1,14 @@
-//! Accuracy metrics for cost-model evaluation (paper §VI-B, Fig 9).
+//! Accuracy metrics for cost-model evaluation (paper §VI-B, Figs 8/9).
 //!
 //! MSE and MAE are computed in whatever space the caller's values live in
 //! (the training pipeline fits in `ln(1 + seconds)` space, so those two are
 //! log-space errors there). The **q-error** is the paper's scale-free
 //! ranking metric, `max(pred / actual, actual / pred)`, and is meaningful
 //! on raw seconds; both inputs are clamped to [`Q_EPS`] so zero runtimes
-//! cannot divide by zero.
+//! cannot divide by zero. **Spearman rank correlation** is the metric that
+//! actually matters to the optimizer — enumeration only consumes the cost
+//! *ranking*, and Fig 8's claim is that interpolated labels preserve it —
+//! while **R²** reports explained variance in the fit space.
 
 /// Lower clamp applied to both operands of the q-error ratio.
 pub const Q_EPS: f64 = 1e-9;
@@ -37,6 +40,87 @@ pub fn q_error(pred: f64, actual: f64) -> f64 {
     (p / a).max(a / p)
 }
 
+/// Coefficient of determination: `1 - SS_res / SS_tot`. `1` is a perfect
+/// fit, `0` no better than predicting the mean, negative worse than that.
+/// When the actuals have zero variance (SS_tot = 0) the ratio is
+/// undefined; returns `1.0` for an exact fit and `f64::NEG_INFINITY`
+/// otherwise.
+pub fn r_squared(preds: &[f64], actuals: &[f64]) -> f64 {
+    check(preds, actuals);
+    let mean = actuals.iter().sum::<f64>() / actuals.len() as f64;
+    let ss_tot: f64 = actuals.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = preds
+        .iter()
+        .zip(actuals)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Spearman rank correlation: the Pearson correlation of the two value
+/// sequences' ranks, with ties sharing their average rank. `1` means the
+/// prediction ranks the set exactly like the actuals — the property plan
+/// enumeration depends on. Returns `0.0` when either side is constant
+/// (no ranking to correlate) or fewer than two points are given.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    check(a, b);
+    if a.len() < 2 {
+        return 0.0;
+    }
+    pearson(&ranks(a), &ranks(b))
+}
+
+/// Fractional ranks (1-based, ties averaged).
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| {
+        values[i]
+            .partial_cmp(&values[j])
+            .expect("rank correlation over NaN is undefined")
+    });
+    let mut out = vec![0.0; n];
+    let mut start = 0;
+    while start < n {
+        let mut end = start + 1;
+        while end < n && values[idx[end]] == values[idx[start]] {
+            end += 1;
+        }
+        // Ranks are 1-based; a tie group [start, end) shares the average.
+        let avg = (start + 1 + end) as f64 / 2.0;
+        for &i in &idx[start..end] {
+            out[i] = avg;
+        }
+        start = end;
+    }
+    out
+}
+
+/// Pearson correlation; `0.0` when either side has zero variance.
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
 /// Aggregate accuracy report over one (predictions, actuals) pairing.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Metrics {
@@ -46,10 +130,14 @@ pub struct Metrics {
     pub q_mean: f64,
     /// Worst (largest) q-error across the set.
     pub q_max: f64,
+    /// Spearman rank correlation (ranking preservation).
+    pub spearman: f64,
+    /// Coefficient of determination in the caller's value space.
+    pub r2: f64,
 }
 
 impl Metrics {
-    /// Evaluate all four metrics in one pass over the pairing.
+    /// Evaluate all six metrics in one pass over the pairing.
     pub fn evaluate(preds: &[f64], actuals: &[f64]) -> Metrics {
         check(preds, actuals);
         let mut q_sum = 0.0;
@@ -64,6 +152,8 @@ impl Metrics {
             mae: mae(preds, actuals),
             q_mean: q_sum / preds.len() as f64,
             q_max,
+            spearman: spearman(preds, actuals),
+            r2: r_squared(preds, actuals),
         }
     }
 }
@@ -109,7 +199,7 @@ mod tests {
     }
 
     #[test]
-    fn evaluate_aggregates_all_four() {
+    fn evaluate_aggregates_all_six() {
         let preds = [2.0, 8.0];
         let actuals = [4.0, 4.0];
         let m = Metrics::evaluate(&preds, &actuals);
@@ -117,6 +207,42 @@ mod tests {
         assert!((m.mae - 3.0).abs() < 1e-12);
         assert!((m.q_mean - 2.0).abs() < 1e-12);
         assert_eq!(m.q_max, 2.0);
+        // Constant actuals: no ranking, no variance to explain.
+        assert_eq!(m.spearman, 0.0);
+        assert_eq!(m.r2, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn spearman_detects_perfect_and_inverted_rankings() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        // Any monotone transform preserves Spearman exactly.
+        let up = [10.0, 100.0, 1000.0, 10000.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &down) + 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_averages_tied_ranks() {
+        // b ties its two middle values; correlation dips below 1 but stays
+        // strongly positive and symmetric.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 2.0, 4.0];
+        let s = spearman(&a, &b);
+        assert!((s - spearman(&b, &a)).abs() < 1e-12, "must be symmetric");
+        assert!(s > 0.9 && s < 1.0, "tied ranks give {s}");
+    }
+
+    #[test]
+    fn r_squared_on_known_values() {
+        let actuals = [1.0, 2.0, 3.0];
+        assert!((r_squared(&actuals, &actuals) - 1.0).abs() < 1e-12);
+        // Predicting the mean everywhere explains nothing: R² = 0.
+        let mean_preds = [2.0, 2.0, 2.0];
+        assert!(r_squared(&mean_preds, &actuals).abs() < 1e-12);
+        // Anti-correlated predictions are worse than the mean: R² < 0.
+        assert!(r_squared(&[3.0, 2.0, 1.0], &actuals) < 0.0);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 use robopt_core::CostOracle;
 use robopt_vector::RowsView;
 
+use crate::source::TrainingSet;
+
 /// A trainable regression model over fixed-width feature rows.
 ///
 /// Implementations must be deterministic: fitting twice on the same rows,
@@ -25,6 +27,15 @@ pub trait Model {
     /// Fit the model on `rows` (one feature row per label). Refitting
     /// replaces the previous state entirely.
     fn fit(&mut self, rows: RowsView<'_>, labels: &[f64]);
+
+    /// Fit on a [`TrainingSet`] produced by any
+    /// [`crate::source::TrainingSource`] — the call sites' entry point:
+    /// the set carries its matrix, labels and layout together, so no
+    /// ad-hoc `(Vec<f64>, Vec<f64>)` pairs travel between the generator
+    /// and the model.
+    fn fit_set(&mut self, set: &TrainingSet) {
+        self.fit(set.rows_view(), &set.labels);
+    }
 
     /// Predict a single row of exactly [`Model::width`] features.
     fn predict_row(&self, feats: &[f64]) -> f64;

@@ -1,98 +1,88 @@
-//! Simulator-labelled training data (the paper's TDGEN role, §V).
+//! Simulator-labelled training data — the *direct labelling* baseline the
+//! paper's TDGEN is measured against (§V).
 //!
-//! [`simulator_training_set`] draws (plan, platform-assignment) pairs from
-//! a fixed pool of workload shapes, vectorizes each complete plan with the
+//! [`SimulatorSource`] draws (plan, platform-assignment) pairs from a
+//! fixed pool of workload shapes, vectorizes each complete plan with the
 //! production Fig-5 encoder, and labels it with the
-//! [`RuntimeSimulator`]'s ground-truth seconds. Labels are stored as
-//! `ln(1 + seconds)`: the runtime surface spans five orders of magnitude,
-//! and fitting in log space keeps the squared-error objective from being
-//! dominated by the handful of slowest plans, while the monotone map
-//! preserves exactly the ranking the enumerator consumes.
+//! [`RuntimeSimulator`]'s ground-truth seconds — **one simulator call per
+//! row**, which is exactly the label-collection cost TDGEN's interpolation
+//! amortizes away. Labels are stored as `ln(1 + seconds)`: the runtime
+//! surface spans five orders of magnitude, and fitting in log space keeps
+//! the squared-error objective from being dominated by the handful of
+//! slowest plans, while the monotone map preserves exactly the ranking the
+//! enumerator consumes.
 //!
 //! The pool mixes the Fig-1 workloads (WordCount, TPC-H Q3, synthetic
 //! pipelines) across input scales with random connected DAGs of 3–20
 //! operators, so models also see rows resembling the *small subplans* the
 //! enumerator costs mid-search, not just full-size plans.
+//!
+//! Both this source and `robopt_tdgen::TdgenGenerator` implement
+//! [`TrainingSource`], so everything downstream of label generation is
+//! source-agnostic.
 
 use robopt_core::vectorize::vectorize_assignment;
 use robopt_plan::rng::SplitMix64;
 use robopt_plan::{workloads, LogicalPlan};
 use robopt_platforms::{PlatformRegistry, RuntimeSimulator};
-use robopt_vector::{FeatureLayout, RowsView};
+use robopt_vector::FeatureLayout;
 
-/// Knobs for [`simulator_training_set`].
+use crate::source::{TrainingSet, TrainingSource};
+
+/// Knobs for [`SimulatorSource`], assembled builder-style like
+/// `robopt_core::EnumOptions` (and mirrored by `TdgenConfig` in
+/// `robopt_tdgen`, so the two sources stay drop-in interchangeable).
+///
+/// ```
+/// # use robopt_ml::SamplerConfig;
+/// let cfg = SamplerConfig::new().with_seed(7).with_noise(0.1);
+/// assert_eq!(cfg.seed(), 7);
+/// assert_eq!(cfg.noise(), 0.1);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct SamplerConfig {
-    /// Number of labelled rows to draw.
-    pub n_samples: usize,
-    /// Seed for plan choice, assignment sampling and simulator noise.
-    pub seed: u64,
-    /// Simulator noise amplitude in `[0, 1)` (0 = noiseless labels).
-    pub noise: f64,
+    seed: u64,
+    noise: f64,
 }
 
-impl Default for SamplerConfig {
-    fn default() -> Self {
+impl SamplerConfig {
+    /// The default configuration: fixed seed, 5% label noise.
+    pub fn new() -> Self {
         SamplerConfig {
-            n_samples: 2000,
             seed: 0x007d_6e11,
             noise: 0.05,
         }
     }
+
+    /// Seed for plan choice, assignment sampling and simulator noise.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Simulator noise amplitude in `[0, 1)` (0 = noiseless labels).
+    pub fn with_noise(mut self, noise: f64) -> Self {
+        assert!((0.0..1.0).contains(&noise), "noise amplitude in [0, 1)");
+        self.noise = noise;
+        self
+    }
+
+    /// The configured seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured noise amplitude.
+    #[inline]
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
 }
 
-/// A labelled training matrix: `n` rows of `width` features, with labels
-/// in both log space (what models fit) and raw seconds (what q-error and
-/// end-to-end comparisons need).
-#[derive(Debug, Clone)]
-pub struct TrainingSet {
-    /// Feature row width.
-    pub width: usize,
-    /// Row-major `len() * width` feature matrix.
-    pub feats: Vec<f64>,
-    /// Fit targets: `ln(1 + seconds)` per row.
-    pub labels: Vec<f64>,
-    /// Raw simulated runtime in seconds per row.
-    pub seconds: Vec<f64>,
-}
-
-impl TrainingSet {
-    /// Number of rows.
-    pub fn len(&self) -> usize {
-        self.labels.len()
-    }
-
-    /// True iff the set has no rows.
-    pub fn is_empty(&self) -> bool {
-        self.labels.is_empty()
-    }
-
-    /// Borrow the feature matrix as a [`RowsView`].
-    pub fn rows_view(&self) -> RowsView<'_> {
-        RowsView::new(&self.feats, self.width)
-    }
-
-    /// The first `n` rows as an independent set — the Fig-9 sweep trains
-    /// on growing prefixes of one draw so that each size strictly extends
-    /// the previous one.
-    pub fn truncated(&self, n: usize) -> TrainingSet {
-        assert!(
-            n <= self.len(),
-            "cannot truncate {} rows to {n}",
-            self.len()
-        );
-        TrainingSet {
-            width: self.width,
-            feats: self.feats[..n * self.width].to_vec(),
-            labels: self.labels[..n].to_vec(),
-            seconds: self.seconds[..n].to_vec(),
-        }
-    }
-
-    /// Convert a log-space prediction back to seconds (inverse of the
-    /// label transform, clamped at zero).
-    pub fn label_to_seconds(label: f64) -> f64 {
-        (label.exp() - 1.0).max(0.0)
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig::new()
     }
 }
 
@@ -157,41 +147,85 @@ fn sample_assignment(
     None
 }
 
-/// Sample `cfg.n_samples` labelled plan vectors from the simulator.
+/// A [`TrainingSource`] labelling every row with a direct simulator call.
 ///
-/// Deterministic for a fixed `(registry, layout, cfg)`; the same config
-/// with a different seed yields an independent draw (held-out sets).
+/// Deterministic for a fixed `(registry, layout, cfg)` and call sequence;
+/// the same config with a different seed yields an independent draw
+/// (held-out sets). Successive [`TrainingSource::generate`] calls continue
+/// the random stream, so one source never repeats rows.
+#[derive(Debug, Clone)]
+pub struct SimulatorSource<'a> {
+    registry: &'a PlatformRegistry,
+    layout: FeatureLayout,
+    cfg: SamplerConfig,
+    rng: SplitMix64,
+    pool: Vec<LogicalPlan>,
+    cursor: usize,
+}
+
+impl<'a> SimulatorSource<'a> {
+    /// A source over `registry`, encoding rows with `layout`.
+    pub fn new(registry: &'a PlatformRegistry, layout: FeatureLayout, cfg: SamplerConfig) -> Self {
+        assert_eq!(
+            layout.n_platforms,
+            registry.len(),
+            "layout platform count must match the registry"
+        );
+        let mut rng = SplitMix64::new(cfg.seed());
+        let pool = plan_pool(&mut rng);
+        SimulatorSource {
+            registry,
+            layout,
+            cfg,
+            rng,
+            pool,
+            cursor: 0,
+        }
+    }
+
+    /// The configuration this source draws under.
+    #[inline]
+    pub fn config(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+}
+
+impl TrainingSource for SimulatorSource<'_> {
+    fn layout(&self) -> FeatureLayout {
+        self.layout
+    }
+
+    fn generate(&mut self, n: usize) -> TrainingSet {
+        let sim = RuntimeSimulator::new(self.registry, self.cfg.seed() ^ 0x5157)
+            .with_noise(self.cfg.noise());
+        let mut set = TrainingSet::with_capacity(self.layout, n);
+        let mut feats_buf = Vec::new();
+        while set.len() < n {
+            // Round-robin over the pool keeps every workload shape equally
+            // represented at every truncation prefix.
+            let plan = &self.pool[self.cursor % self.pool.len()];
+            self.cursor += 1;
+            let Some((assign, seconds)) =
+                sample_assignment(plan, self.registry, &sim, &mut self.rng, 16)
+            else {
+                continue;
+            };
+            vectorize_assignment(plan, &self.layout, &assign, &mut feats_buf);
+            set.push_simulated(&feats_buf, seconds);
+        }
+        set
+    }
+}
+
+/// Sample `n` labelled plan vectors from a fresh [`SimulatorSource`] —
+/// convenience for call sites that need exactly one draw.
 pub fn simulator_training_set(
     registry: &PlatformRegistry,
     layout: &FeatureLayout,
     cfg: &SamplerConfig,
+    n: usize,
 ) -> TrainingSet {
-    assert_eq!(layout.n_platforms, registry.len());
-    let mut rng = SplitMix64::new(cfg.seed);
-    let sim = RuntimeSimulator::new(registry, cfg.seed ^ 0x5157).with_noise(cfg.noise);
-    let pool = plan_pool(&mut rng);
-    let mut set = TrainingSet {
-        width: layout.width,
-        feats: Vec::with_capacity(cfg.n_samples * layout.width),
-        labels: Vec::with_capacity(cfg.n_samples),
-        seconds: Vec::with_capacity(cfg.n_samples),
-    };
-    let mut feats_buf = Vec::new();
-    let mut i = 0usize;
-    while set.len() < cfg.n_samples {
-        // Round-robin over the pool keeps every workload shape equally
-        // represented at every truncation prefix.
-        let plan = &pool[i % pool.len()];
-        i += 1;
-        let Some((assign, seconds)) = sample_assignment(plan, registry, &sim, &mut rng, 16) else {
-            continue;
-        };
-        vectorize_assignment(plan, layout, &assign, &mut feats_buf);
-        set.feats.extend_from_slice(&feats_buf);
-        set.labels.push(seconds.ln_1p());
-        set.seconds.push(seconds);
-    }
-    set
+    SimulatorSource::new(registry, *layout, *cfg).generate(n)
 }
 
 #[cfg(test)]
@@ -208,16 +242,30 @@ mod tests {
     #[test]
     fn sampler_is_deterministic_and_fills_the_request() {
         let (registry, layout) = named_setup();
-        let cfg = SamplerConfig {
-            n_samples: 64,
-            ..SamplerConfig::default()
-        };
-        let a = simulator_training_set(&registry, &layout, &cfg);
-        let b = simulator_training_set(&registry, &layout, &cfg);
+        let cfg = SamplerConfig::new();
+        let a = simulator_training_set(&registry, &layout, &cfg, 64);
+        let b = simulator_training_set(&registry, &layout, &cfg, 64);
         assert_eq!(a.len(), 64);
-        assert_eq!(a.feats, b.feats);
+        assert_eq!(a.rows, b.rows);
         assert_eq!(a.labels, b.labels);
         assert!(a.seconds.iter().all(|s| s.is_finite() && *s > 0.0));
+    }
+
+    #[test]
+    fn successive_generate_calls_continue_the_stream() {
+        let (registry, layout) = named_setup();
+        let cfg = SamplerConfig::new().with_seed(5).with_noise(0.0);
+        let mut source = SimulatorSource::new(&registry, layout, cfg);
+        let first = source.generate(32);
+        let second = source.generate(32);
+        assert_ne!(
+            first.labels, second.labels,
+            "one source must not repeat its draw"
+        );
+        // A fresh source reproduces the concatenation of both calls.
+        let both = SimulatorSource::new(&registry, layout, cfg).generate(64);
+        assert_eq!(&both.labels[..32], &first.labels[..]);
+        assert_eq!(&both.labels[32..], &second.labels[..]);
     }
 
     #[test]
@@ -226,20 +274,14 @@ mod tests {
         let a = simulator_training_set(
             &registry,
             &layout,
-            &SamplerConfig {
-                n_samples: 32,
-                seed: 1,
-                noise: 0.0,
-            },
+            &SamplerConfig::new().with_seed(1).with_noise(0.0),
+            32,
         );
         let b = simulator_training_set(
             &registry,
             &layout,
-            &SamplerConfig {
-                n_samples: 32,
-                seed: 2,
-                noise: 0.0,
-            },
+            &SamplerConfig::new().with_seed(2).with_noise(0.0),
+            32,
         );
         assert_ne!(a.labels, b.labels);
     }
@@ -247,14 +289,10 @@ mod tests {
     #[test]
     fn truncation_is_a_strict_prefix() {
         let (registry, layout) = named_setup();
-        let cfg = SamplerConfig {
-            n_samples: 48,
-            ..SamplerConfig::default()
-        };
-        let full = simulator_training_set(&registry, &layout, &cfg);
+        let full = simulator_training_set(&registry, &layout, &SamplerConfig::new(), 48);
         let half = full.truncated(24);
         assert_eq!(half.len(), 24);
-        assert_eq!(half.feats, full.feats[..24 * full.width]);
+        assert_eq!(half.rows, full.rows[..24 * full.width()]);
         assert_eq!(half.labels, full.labels[..24]);
     }
 
@@ -264,15 +302,21 @@ mod tests {
         let set = simulator_training_set(
             &registry,
             &layout,
-            &SamplerConfig {
-                n_samples: 16,
-                seed: 9,
-                noise: 0.0,
-            },
+            &SamplerConfig::new().with_seed(9).with_noise(0.0),
+            16,
         );
         for (label, seconds) in set.labels.iter().zip(&set.seconds) {
             assert!((label - seconds.ln_1p()).abs() < 1e-12);
             assert!((TrainingSet::label_to_seconds(*label) - seconds).abs() < 1e-9 * seconds);
         }
+    }
+
+    #[test]
+    fn source_is_object_safe() {
+        let (registry, layout) = named_setup();
+        let mut source = SimulatorSource::new(&registry, layout, SamplerConfig::new());
+        let dyn_source: &mut dyn TrainingSource = &mut source;
+        assert_eq!(dyn_source.layout().width, layout.width);
+        assert_eq!(dyn_source.generate(8).len(), 8);
     }
 }

@@ -20,10 +20,14 @@
 //!   deterministic runtime simulator;
 //! * [`robopt_ml`] — the learned cost model: CART regression trees, the
 //!   bagged random forest, the ridge linear baseline, accuracy metrics,
-//!   and the simulator-labelled training sampler — all pluggable into
-//!   enumeration through `ModelOracle` behind `&dyn CostOracle`;
-//! * [`robopt_engine`], [`robopt_tdgen`], [`robopt_cli`] — stubs landing
-//!   in later PRs.
+//!   and the `TrainingSource` / `TrainingSet` contract every label
+//!   provider implements — all pluggable into enumeration through
+//!   `ModelOracle` behind `&dyn CostOracle`;
+//! * [`robopt_tdgen`] — TDGEN, the scalable training-data generator:
+//!   seeded job-shape templates, β-bounded platform-switch pruning, and
+//!   piecewise degree-5 log-log runtime interpolation so most labels are
+//!   synthesized rather than simulated;
+//! * [`robopt_engine`], [`robopt_cli`] — stubs landing in later PRs.
 
 pub use robopt_baselines as baselines;
 pub use robopt_cli as cli;
@@ -41,12 +45,13 @@ pub mod prelude {
         uniform_oracle, AnalyticOracle, CostOracle, EnumOptions, EnumStats, Enumerator,
     };
     pub use robopt_ml::{
-        simulator_training_set, ForestConfig, LinearModel, Metrics, Model, ModelOracle,
-        RandomForest, SamplerConfig, TrainingSet,
+        r_squared, simulator_training_set, spearman, ForestConfig, LinearModel, Metrics, Model,
+        ModelOracle, RandomForest, SamplerConfig, SimulatorSource, TrainingSet, TrainingSource,
     };
     pub use robopt_plan::{workloads, LogicalPlan, Operator, OperatorKind, SplitMix64};
     pub use robopt_platforms::{
         Platform, PlatformId, PlatformRegistry, RuntimeSimulator, MAX_PLATFORMS,
     };
+    pub use robopt_tdgen::{tdgen_training_set, ShapeKind, TdgenConfig, TdgenGenerator};
     pub use robopt_vector::{EnumMatrix, FeatureLayout, RowsView, Scope};
 }

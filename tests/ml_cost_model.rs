@@ -28,12 +28,8 @@ fn setup() -> (PlatformRegistry, FeatureLayout) {
 #[test]
 fn forest_batch_prediction_matches_per_row_on_plan_vectors() {
     let (registry, layout) = setup();
-    let cfg = SamplerConfig {
-        n_samples: 300,
-        seed: 11,
-        noise: 0.05,
-    };
-    let train = simulator_training_set(&registry, &layout, &cfg);
+    let cfg = SamplerConfig::new().with_seed(11).with_noise(0.05);
+    let train = simulator_training_set(&registry, &layout, &cfg, 300);
     let forest = RandomForest::fit(
         &ForestConfig {
             n_trees: 12,
@@ -45,11 +41,8 @@ fn forest_batch_prediction_matches_per_row_on_plan_vectors() {
     let probe = simulator_training_set(
         &registry,
         &layout,
-        &SamplerConfig {
-            n_samples: 80,
-            seed: 12,
-            noise: 0.0,
-        },
+        &SamplerConfig::new().with_seed(12).with_noise(0.0),
+        80,
     );
     let rows = probe.rows_view();
     let mut batch = Vec::new();
@@ -70,11 +63,8 @@ fn forest_training_is_deterministic_under_a_fixed_seed() {
     let train = simulator_training_set(
         &registry,
         &layout,
-        &SamplerConfig {
-            n_samples: 250,
-            seed: 21,
-            noise: 0.05,
-        },
+        &SamplerConfig::new().with_seed(21).with_noise(0.05),
+        250,
     );
     let cfg = ForestConfig {
         n_trees: 10,
@@ -86,11 +76,8 @@ fn forest_training_is_deterministic_under_a_fixed_seed() {
     let probe = simulator_training_set(
         &registry,
         &layout,
-        &SamplerConfig {
-            n_samples: 60,
-            seed: 22,
-            noise: 0.0,
-        },
+        &SamplerConfig::new().with_seed(22).with_noise(0.0),
+        60,
     );
     let (mut pa, mut pb) = (Vec::new(), Vec::new());
     a.predict_batch(probe.rows_view(), &mut pa);
@@ -104,23 +91,17 @@ fn forest_beats_linear_baseline_on_held_out_plans() {
     let train = simulator_training_set(
         &registry,
         &layout,
-        &SamplerConfig {
-            n_samples: 600,
-            seed: 31,
-            noise: 0.05,
-        },
+        &SamplerConfig::new().with_seed(31).with_noise(0.05),
+        600,
     );
     let heldout = simulator_training_set(
         &registry,
         &layout,
-        &SamplerConfig {
-            n_samples: 200,
-            seed: 32,
-            noise: 0.0,
-        },
+        &SamplerConfig::new().with_seed(32).with_noise(0.0),
+        200,
     );
     let mut linear = LinearModel::new();
-    linear.fit(train.rows_view(), &train.labels);
+    linear.fit_set(&train);
     let forest = RandomForest::fit(
         &ForestConfig {
             n_trees: 24,
@@ -145,11 +126,8 @@ fn trained_forest_behind_dyn_oracle_drives_enumeration_end_to_end() {
     let train = simulator_training_set(
         &registry,
         &layout,
-        &SamplerConfig {
-            n_samples: 600,
-            seed: 41,
-            noise: 0.05,
-        },
+        &SamplerConfig::new().with_seed(41).with_noise(0.05),
+        600,
     );
     let forest = RandomForest::fit(
         &ForestConfig {
