@@ -11,14 +11,13 @@
 //! the vector-based enumerator isolates precisely the representation
 //! benefit the paper claims.
 
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use robopt_core::vectorize::ExecutionPlan;
 use robopt_core::EnumOptions;
 use robopt_plan::LogicalPlan;
 use robopt_platforms::PlatformId;
-use robopt_vector::{footprint_hash, FeatureLayout, RowsView, Scope, NO_PLATFORM};
+use robopt_vector::{footprint_hash, FeatureLayout, FootprintTable, RowsView, Scope, NO_PLATFORM};
 
 use crate::object_plan::ObjNode;
 
@@ -29,7 +28,7 @@ struct ObjUnit {
 }
 
 /// Object-graph enumerator with per-batch plan-to-vector transformation.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct ObjectEnumerator;
 
 impl ObjectEnumerator {
@@ -143,8 +142,10 @@ impl ObjectEnumerator {
                 if ra == rb {
                     continue;
                 }
-                let pa = units[ra as usize].as_ref().unwrap();
-                let pb = units[rb as usize].as_ref().unwrap();
+                // lint:allow(panic-expect) union-find root always holds a live unit (contracted roots are never re-found)
+                let pa = units[ra as usize].as_ref().expect("live unit at root");
+                // lint:allow(panic-expect) union-find root always holds a live unit (contracted roots are never re-found)
+                let pb = units[rb as usize].as_ref().expect("live unit at root");
                 let pri = (pa.plans.len() * pb.plans.len()) as u64;
                 let tie = Self::boundary_of(plan, pa.scope.union(pb.scope)).len() as u32;
                 let key = (pri, tie, e, ra, rb);
@@ -152,9 +153,12 @@ impl ObjectEnumerator {
                     best = Some(key);
                 }
             }
+            // lint:allow(panic-expect) the plan is asserted connected, so every contraction round finds a crossing edge
             let (_, _, _, ra, rb) = best.expect("connected plan has a crossing edge");
-            let a = units[ra as usize].take().unwrap();
-            let b = units[rb as usize].take().unwrap();
+            // lint:allow(panic-expect) union-find root always holds a live unit (contracted roots are never re-found)
+            let a = units[ra as usize].take().expect("live unit at root");
+            // lint:allow(panic-expect) union-find root always holds a live unit (contracted roots are never re-found)
+            let b = units[rb as usize].take().expect("live unit at root");
             let merged_scope = a.scope.union(b.scope);
             let boundary = Self::boundary_of(plan, merged_scope);
             let crossing: Vec<(u32, u32)> = plan
@@ -201,17 +205,19 @@ impl ObjectEnumerator {
             let mut costs = Vec::new();
             oracle.cost_batch(RowsView::new(&batch, layout.width), &mut costs);
 
-            let mut fp_map: HashMap<u64, usize> = HashMap::new();
+            let mut fp_map = FootprintTable::new();
             let mut merged: Vec<(Rc<ObjNode>, f64)> = Vec::new();
             for ((node, fp), cost) in staged.into_iter().zip(costs) {
-                match fp_map.get(&fp) {
-                    Some(&idx) => {
-                        if cost < merged[idx].1 {
-                            merged[idx] = (node, cost);
+                match fp_map.get(fp) {
+                    Some(idx) => {
+                        if let Some(slot) = merged.get_mut(idx as usize) {
+                            if cost < slot.1 {
+                                *slot = (node, cost);
+                            }
                         }
                     }
                     None => {
-                        fp_map.insert(fp, merged.len());
+                        fp_map.insert(fp, merged.len() as u32);
                         merged.push((node, cost));
                     }
                 }
@@ -224,11 +230,13 @@ impl ObjectEnumerator {
         }
 
         let root = find(&mut parent, 0);
-        let unit = units[root as usize].take().unwrap();
+        // lint:allow(panic-expect) union-find root always holds a live unit (contracted roots are never re-found)
+        let unit = units[root as usize].take().expect("live unit at root");
         let (best_node, best_cost) = unit
             .plans
             .iter()
             .min_by(|a, b| a.1.total_cmp(&b.1))
+            // lint:allow(panic-expect) every singleton has >= 1 availability-masked plan and merges keep >= 1 row
             .expect("non-empty enumeration");
         let mut placements = Vec::new();
         best_node.collect_into(&mut placements);

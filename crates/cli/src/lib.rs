@@ -3,6 +3,9 @@
 //!
 //! **Stub** — lands in a later PR (see ROADMAP.md "Open items").
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 /// Exit code returned until the CLI lands.
 pub const EXIT_UNIMPLEMENTED: i32 = 2;
 

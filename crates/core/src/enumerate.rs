@@ -20,12 +20,12 @@
 //! no `EnumMatrix` buffer growth (asserted by `tests/buffer_reuse.rs` via
 //! [`robopt_vector::alloc_events`]).
 
-use std::collections::HashMap;
-
 use robopt_plan::LogicalPlan;
 use robopt_platforms::{PlatformId, PlatformRegistry};
 use robopt_vector::merge::{merge_assignments, merge_feats};
-use robopt_vector::{footprint_hash, EnumMatrix, FeatureLayout, Scope, NO_PLATFORM};
+use robopt_vector::{
+    footprint_hash, EnumMatrix, FeatureLayout, FootprintTable, Scope, NO_PLATFORM,
+};
 
 use crate::oracle::CostOracle;
 use crate::vectorize::{add_conversion_features, fill_singleton, ExecutionPlan};
@@ -106,6 +106,7 @@ impl<'a> EnumOptions<'a> {
     #[inline]
     pub fn oracle(&self) -> &'a dyn CostOracle {
         self.oracle
+            // lint:allow(panic-expect) documented contract: enumeration without an oracle is a caller bug, asserted by enumeration_without_an_oracle_is_rejected
             .expect("EnumOptions::with_oracle: enumeration requires a cost oracle")
     }
 
@@ -220,7 +221,7 @@ pub struct Enumerator {
     units: Vec<Option<Unit>>,
     parent: Vec<u32>,
     heap: MinHeap,
-    fp_map: HashMap<u64, u32>,
+    fp_map: FootprintTable,
     scratch_feats: Vec<f64>,
     scratch_assign: Vec<u8>,
     cost_buf: Vec<f64>,
@@ -241,6 +242,28 @@ impl Enumerator {
             x = gp;
         }
         x
+    }
+
+    /// Row count of the live unit rooted at `r`. The union-find invariant —
+    /// every root returned by [`Enumerator::find`] owns a `Some` unit until
+    /// it is contracted away — makes the lookup structural.
+    #[inline]
+    fn unit_rows(&self, r: u32) -> usize {
+        match self.units.get(r as usize) {
+            // lint:allow(panic-expect) union-find root always holds a live unit (contracted roots are never re-found)
+            Some(u) => u.as_ref().expect("live unit at union-find root").mat.rows(),
+            None => 0,
+        }
+    }
+
+    /// Detach the live unit rooted at `r` (same invariant as `unit_rows`).
+    #[inline]
+    fn take_unit(&mut self, r: u32) -> Unit {
+        self.units
+            .get_mut(r as usize)
+            .and_then(Option::take)
+            // lint:allow(panic-expect) union-find root always holds a live unit (contracted roots are never re-found)
+            .expect("live unit at union-find root")
     }
 
     /// Take a pooled matrix, best-fit by the rows it will have to hold, so
@@ -346,8 +369,8 @@ impl Enumerator {
         // Seed the priority queue with every dataflow edge.
         self.heap.clear();
         for (e, &(u, v)) in plan.edges().iter().enumerate() {
-            let rows_u = self.units[u as usize].as_ref().unwrap().mat.rows();
-            let rows_v = self.units[v as usize].as_ref().unwrap().mat.rows();
+            let rows_u = self.unit_rows(u);
+            let rows_v = self.unit_rows(v);
             let tie = Self::boundary_count(plan, Scope::singleton(u).union(Scope::singleton(v)));
             self.heap.push(HeapEntry {
                 priority: (rows_u * rows_v) as u64,
@@ -367,8 +390,8 @@ impl Enumerator {
             if ra == rb {
                 continue;
             }
-            let rows_a = self.units[ra as usize].as_ref().unwrap().mat.rows();
-            let rows_b = self.units[rb as usize].as_ref().unwrap().mat.rows();
+            let rows_a = self.unit_rows(ra);
+            let rows_b = self.unit_rows(rb);
             let current = (rows_a * rows_b) as u64;
             if current != entry.priority {
                 self.heap.push(HeapEntry {
@@ -378,8 +401,8 @@ impl Enumerator {
                 continue;
             }
 
-            let a = self.units[ra as usize].take().unwrap();
-            let b = self.units[rb as usize].take().unwrap();
+            let a = self.take_unit(ra);
+            let b = self.take_unit(rb);
             let merged_scope = a.scope.union(b.scope);
 
             // Dataflow edges crossing the two scopes (conversion sites).
@@ -460,8 +483,8 @@ impl Enumerator {
                 let cost = self.cost_buf[r];
                 if opts.prune() {
                     let fp = footprint_hash(&self.boundary, stage.assignments(r));
-                    match self.fp_map.get(&fp) {
-                        Some(&row) => {
+                    match self.fp_map.get(fp) {
+                        Some(row) => {
                             if cost < dst.cost(row as usize) {
                                 dst.overwrite_row(
                                     row as usize,
@@ -498,8 +521,9 @@ impl Enumerator {
 
         // unvectorize: the surviving unit's cheapest row.
         let root = self.find(0);
-        let unit = self.units[root as usize].take().unwrap();
+        let unit = self.take_unit(root);
         debug_assert_eq!(unit.scope.len() as usize, n);
+        // lint:allow(panic-expect) every singleton pushes >= 1 row and every merge asserts a feasible row, so the final unit is non-empty
         let best = unit.mat.min_cost_row().expect("non-empty enumeration");
         let result = ExecutionPlan::from_raw(unit.mat.assignments(best), unit.mat.cost(best));
         self.pool.push(unit.mat);

@@ -13,6 +13,9 @@
 //!   from the [`robopt_platforms::PlatformRegistry`] carried by
 //!   [`enumerate::EnumOptions`], and enumeration statistics.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod enumerate;
 pub mod oracle;
 pub mod vectorize;

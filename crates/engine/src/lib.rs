@@ -4,6 +4,9 @@
 //!
 //! **Stub** — lands in a later PR (see ROADMAP.md "Open items").
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 /// Placeholder so dependents can reference the crate.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Placeholder;

@@ -1,0 +1,800 @@
+//! The rule engine: every invariant the workspace relies on but `clippy`
+//! cannot see.
+//!
+//! Rules are grouped by the paper claim they protect (see DESIGN.md
+//! "§ Static invariants"):
+//!
+//! * **Determinism** (Lemma 1, bit-identical seeded training):
+//!   `hash-container`, `wall-clock`.
+//! * **Panic-freedom** (library code must degrade, not abort):
+//!   `panic-unwrap`, `panic-expect`, `panic-macro`, `index-literal`.
+//! * **Oracle / platform contracts** (estimator API): `oracle-width`,
+//!   `cost-batch-guard`, `platform-id`, `safety-comment`, `crate-attrs`.
+//! * **Workspace hygiene** (offline build image, honest docs):
+//!   `workspace-deps`, `artifact-exists`.
+//!
+//! A violation on line `n` is suppressed by a trailing or immediately
+//! preceding comment `// lint:allow(<rule-id>) <justification>`; the
+//! justification is mandatory and is carried into the JSON report so every
+//! suppression stays auditable.
+
+use std::path::Path;
+
+use crate::lexer::{find_word, LineScan};
+use crate::report::{Diagnostic, LintOutcome, Suppression};
+use crate::workspace::{find_code_char, match_brace, CrateClass, SourceFile, TextFile, Workspace};
+
+/// A rule's identity and the invariant it guards.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub guards: &'static str,
+}
+
+/// Every rule the engine knows, in documentation order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "hash-container",
+        guards: "determinism: std hash containers iterate in per-process random order",
+    },
+    RuleInfo {
+        id: "wall-clock",
+        guards: "determinism: wall-clock/thread-identity values vary across runs",
+    },
+    RuleInfo {
+        id: "panic-unwrap",
+        guards: "panic-freedom: .unwrap() aborts instead of degrading",
+    },
+    RuleInfo {
+        id: "panic-expect",
+        guards: "panic-freedom: .expect() must carry a justified structural invariant",
+    },
+    RuleInfo {
+        id: "panic-macro",
+        guards: "panic-freedom: explicit panics in library code",
+    },
+    RuleInfo {
+        id: "index-literal",
+        guards: "panic-freedom: literal indexing can go out of bounds",
+    },
+    RuleInfo {
+        id: "oracle-width",
+        guards: "estimator contract: every CostOracle impl must expose its row width",
+    },
+    RuleInfo {
+        id: "cost-batch-guard",
+        guards: "estimator contract: batch costing must debug_assert the row width",
+    },
+    RuleInfo {
+        id: "platform-id",
+        guards: "platform contract: raw usize platform indices bypass PlatformId",
+    },
+    RuleInfo {
+        id: "safety-comment",
+        guards: "unsafe hygiene: every unsafe block needs a // SAFETY: line",
+    },
+    RuleInfo {
+        id: "crate-attrs",
+        guards: "unsafe/debug hygiene: library crate roots must forbid unsafe_code and deny missing_debug_implementations",
+    },
+    RuleInfo {
+        id: "workspace-deps",
+        guards: "offline build image: only path/workspace dependencies exist",
+    },
+    RuleInfo {
+        id: "artifact-exists",
+        guards: "honest docs: referenced experiment artifacts exist on disk",
+    },
+];
+
+/// Run every rule over the loaded workspace.
+pub fn check(ws: &Workspace) -> LintOutcome {
+    let mut out = LintOutcome {
+        files_scanned: ws.files_scanned(),
+        ..LintOutcome::default()
+    };
+    for f in &ws.sources {
+        check_source(f, &mut out);
+    }
+    for m in &ws.manifests {
+        check_manifest(m, &mut out);
+    }
+    for d in &ws.docs {
+        check_doc(&ws.root, d, &mut out);
+    }
+    out.sort();
+    out
+}
+
+/// `lint:allow(<rule>) <justification>` on the same or the immediately
+/// preceding line; the justification must be non-empty.
+fn allow_justification(lines: &[LineScan], li: usize, rule: &str) -> Option<String> {
+    let needle = format!("lint:allow({rule})");
+    let candidates = [Some(li), li.checked_sub(1)];
+    for cand in candidates.into_iter().flatten() {
+        let comment = lines.get(cand).map(|l| l.comment.as_str()).unwrap_or("");
+        if let Some(pos) = comment.find(&needle) {
+            let rest = comment.get(pos + needle.len()..).unwrap_or("").trim();
+            if !rest.is_empty() {
+                return Some(rest.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Record a hit on line `li` (0-based): a violation, unless a justified
+/// `lint:allow` suppresses it.
+fn emit(file: &SourceFile, li: usize, rule: &'static str, message: String, out: &mut LintOutcome) {
+    match allow_justification(&file.lines, li, rule) {
+        Some(justification) => out.allowed.push(Suppression {
+            file: file.rel.clone(),
+            line: li + 1,
+            rule,
+            justification,
+        }),
+        None => out.violations.push(Diagnostic {
+            file: file.rel.clone(),
+            line: li + 1,
+            rule,
+            message,
+        }),
+    }
+}
+
+fn check_source(file: &SourceFile, out: &mut LintOutcome) {
+    let panic_rules = file.class != CrateClass::Exempt && !file.is_binary;
+    for (li, line) in file.lines.iter().enumerate() {
+        let code = line.code.as_str();
+        let in_test = file.test_mask.get(li).copied().unwrap_or(false);
+
+        if file.class == CrateClass::Determinism {
+            for container in ["HashMap", "HashSet"] {
+                if !find_word(code, container).is_empty() {
+                    emit(
+                        file,
+                        li,
+                        "hash-container",
+                        format!(
+                            "{container} in a determinism-critical crate: std's per-process \
+                             hasher seed makes iteration order nondeterministic; use \
+                             robopt_vector::FootprintTable or a sorted Vec, or justify a \
+                             provably non-iterating use with lint:allow(hash-container)"
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+
+        if file.class != CrateClass::Exempt {
+            for pattern in ["std::time", "SystemTime", "Instant::now", "thread::current"] {
+                if code.contains(pattern) {
+                    emit(
+                        file,
+                        li,
+                        "wall-clock",
+                        format!(
+                            "`{pattern}` in a library crate: wall-clock and thread-identity \
+                             values break bit-identical seeded runs; timing belongs in \
+                             robopt-bench"
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+
+        if panic_rules && !in_test {
+            if code.contains(".unwrap()") {
+                emit(
+                    file,
+                    li,
+                    "panic-unwrap",
+                    ".unwrap() in library code: convert to .expect() with an invariant \
+                     message (justified via lint:allow(panic-expect)) or propagate \
+                     Option/Result"
+                        .to_string(),
+                    out,
+                );
+            }
+            if code.contains(".expect(") {
+                emit(
+                    file,
+                    li,
+                    "panic-expect",
+                    ".expect() in library code: state the structural invariant in a \
+                     lint:allow(panic-expect) justification or propagate the error"
+                        .to_string(),
+                    out,
+                );
+            }
+            for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+                let fires = find_word(code, mac).into_iter().any(|at| {
+                    code.get(at + mac.len()..)
+                        .and_then(|s| s.chars().next())
+                        .is_some_and(|c| c == '!')
+                });
+                if fires {
+                    emit(
+                        file,
+                        li,
+                        "panic-macro",
+                        format!("{mac}! in library code aborts the optimizer instead of degrading"),
+                        out,
+                    );
+                }
+            }
+            if has_literal_index(code) {
+                emit(
+                    file,
+                    li,
+                    "index-literal",
+                    "indexing with an integer literal can go out of bounds; use \
+                     .get()/.first(), or justify in-bounds-by-construction with \
+                     lint:allow(index-literal)"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+
+        if !find_word(code, "unsafe").is_empty() {
+            let documented = (li.saturating_sub(3)..=li).any(|c| {
+                file.lines
+                    .get(c)
+                    .is_some_and(|l| l.comment.contains("SAFETY:"))
+            });
+            if !documented {
+                emit(
+                    file,
+                    li,
+                    "safety-comment",
+                    "unsafe without a preceding // SAFETY: comment (library crates \
+                     additionally #![forbid(unsafe_code)] entirely)"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+
+    if file.is_crate_root && file.class != CrateClass::Exempt {
+        for attr in [
+            "#![forbid(unsafe_code)]",
+            "#![deny(missing_debug_implementations)]",
+        ] {
+            if !file.lines.iter().any(|l| l.code.contains(attr)) {
+                emit(
+                    file,
+                    0,
+                    "crate-attrs",
+                    format!("library crate root is missing `{attr}`"),
+                    out,
+                );
+            }
+        }
+    }
+
+    check_cost_oracle_impls(file, out);
+    check_cost_batch_bodies(file, out);
+    if file.class != CrateClass::Exempt && file.crate_name != "platforms" {
+        check_platform_params(file, out);
+    }
+}
+
+/// `foo[3]`-style indexing: `[` preceded by an identifier character, `)` or
+/// `]`, whose bracket content is a bare integer literal.
+fn has_literal_index(code: &str) -> bool {
+    for (at, c) in code.char_indices() {
+        if c != '[' {
+            continue;
+        }
+        let prev = code[..at].trim_end().chars().next_back();
+        if !prev.is_some_and(|p| p.is_alphanumeric() || p == '_' || p == ')' || p == ']') {
+            continue;
+        }
+        let inner = code.get(at + 1..).unwrap_or("");
+        let digits: String = inner
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '_')
+            .collect();
+        if digits.is_empty() {
+            continue;
+        }
+        let rest = inner
+            .trim_start()
+            .get(digits.len()..)
+            .unwrap_or("")
+            .trim_start();
+        if rest.starts_with(']') {
+            return true;
+        }
+    }
+    false
+}
+
+/// Join the code of lines `lo..=hi` with spaces (signature/header text).
+fn joined_code(lines: &[LineScan], lo: usize, hi: usize) -> String {
+    let mut s = String::new();
+    for l in lines.iter().take(hi + 1).skip(lo) {
+        s.push_str(l.code.as_str());
+        s.push(' ');
+    }
+    s
+}
+
+/// Every `impl … CostOracle for …` block must define `fn width`.
+fn check_cost_oracle_impls(file: &SourceFile, out: &mut LintOutcome) {
+    for li in 0..file.lines.len() {
+        let code = file.lines.get(li).map(|l| l.code.as_str()).unwrap_or("");
+        for at in find_word(code, "impl") {
+            let Some((bl, bc)) = find_code_char(&file.lines, li, at, |c| c == '{' || c == ';')
+            else {
+                continue;
+            };
+            let header = joined_code(&file.lines, li, bl);
+            if find_word(&header, "CostOracle").is_empty() || find_word(&header, "for").is_empty() {
+                continue;
+            }
+            let opens = file
+                .lines
+                .get(bl)
+                .and_then(|l| l.code.get(bc..))
+                .and_then(|s| s.chars().next())
+                == Some('{');
+            if !opens {
+                continue;
+            }
+            let end = match_brace(&file.lines, bl, bc).unwrap_or(bl);
+            let body = joined_code(&file.lines, bl, end);
+            if !body.contains("fn width") {
+                emit(
+                    file,
+                    li,
+                    "oracle-width",
+                    "impl CostOracle must define fn width() so every batch path can \
+                     validate incoming row layouts"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Every `fn cost_batch` body must `debug_assert` something about `width`.
+fn check_cost_batch_bodies(file: &SourceFile, out: &mut LintOutcome) {
+    for li in 0..file.lines.len() {
+        let code = file.lines.get(li).map(|l| l.code.as_str()).unwrap_or("");
+        let Some(at) = code.find("fn cost_batch") else {
+            continue;
+        };
+        // Word boundary: don't match fns whose name merely starts with
+        // `cost_batch` (e.g. this rule's own tests).
+        let after = code
+            .get(at + "fn cost_batch".len()..)
+            .and_then(|s| s.chars().next());
+        if after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            continue;
+        }
+        let Some((bl, bc)) = find_code_char(&file.lines, li, at, |c| c == '{' || c == ';') else {
+            continue;
+        };
+        let opens = file
+            .lines
+            .get(bl)
+            .and_then(|l| l.code.get(bc..))
+            .and_then(|s| s.chars().next())
+            == Some('{');
+        if !opens {
+            continue; // bodyless trait declaration
+        }
+        let end = match_brace(&file.lines, bl, bc).unwrap_or(bl);
+        let body = joined_code(&file.lines, bl, end);
+        if !body.contains("debug_assert") || find_word(&body, "width").is_empty() {
+            emit(
+                file,
+                li,
+                "cost-batch-guard",
+                "fn cost_batch must debug_assert the incoming batch width against \
+                 CostOracle::width() — the wrong-layout class is silent otherwise"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// `pub fn` parameters like `platform: usize` outside `robopt-platforms`
+/// should take `PlatformId` (the raw-index wraparound class of PR 1).
+fn check_platform_params(file: &SourceFile, out: &mut LintOutcome) {
+    for li in 0..file.lines.len() {
+        let code = file.lines.get(li).map(|l| l.code.as_str()).unwrap_or("");
+        let Some(fn_at) = find_word(code, "fn").into_iter().next() else {
+            continue;
+        };
+        if find_word(code.get(..fn_at).unwrap_or(""), "pub").is_empty() {
+            continue;
+        }
+        let Some((pl, pc)) = find_code_char(&file.lines, li, fn_at, |c| c == '(') else {
+            continue;
+        };
+        let Some((el, _)) = find_code_char(&file.lines, pl, pc, |c| c == ')') else {
+            continue;
+        };
+        let sig = joined_code(&file.lines, li, el);
+        let params = sig
+            .find('(')
+            .map(|s| sig.get(s + 1..).unwrap_or(""))
+            .unwrap_or("");
+        let params = params.split(')').next().unwrap_or("");
+        for param in params.split(',') {
+            let mut halves = param.splitn(2, ':');
+            let name = halves
+                .next()
+                .unwrap_or("")
+                .trim()
+                .trim_start_matches("mut ");
+            let ty = halves.next().unwrap_or("");
+            if name.contains("platform")
+                && !name.starts_with("n_")
+                && name != "platforms"
+                && !find_word(ty, "usize").is_empty()
+            {
+                emit(
+                    file,
+                    li,
+                    "platform-id",
+                    format!(
+                        "pub fn takes a raw `{name}: usize` platform index outside \
+                         robopt-platforms; take PlatformId (or justify layout-level \
+                         indices with lint:allow(platform-id))"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Only `path =` / `workspace = true` dependencies may appear in any
+/// dependency section: the build image has no registry access.
+fn check_manifest(tf: &TextFile, out: &mut LintOutcome) {
+    let mut in_deps = false;
+    for (li, raw) in tf.text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_deps = line.trim_end_matches(']').ends_with("dependencies");
+            continue;
+        }
+        if !in_deps || line.is_empty() || !line.contains('=') {
+            continue;
+        }
+        if !(line.contains("workspace") || line.contains("path")) {
+            out.violations.push(Diagnostic {
+                file: tf.rel.clone(),
+                line: li + 1,
+                rule: "workspace-deps",
+                message: format!(
+                    "`{line}` pulls a dependency from outside the workspace; the build \
+                     image is offline — keep the workspace dependency-free (in-tree \
+                     stand-ins, see Cargo.toml NOTE)"
+                ),
+            });
+        }
+    }
+}
+
+/// Artifact paths referenced by the docs must exist on disk.
+fn check_doc(root: &Path, tf: &TextFile, out: &mut LintOutcome) {
+    for (li, line) in tf.text.lines().enumerate() {
+        for path in artifact_refs(line) {
+            if !root.join(&path).is_file() {
+                out.violations.push(Diagnostic {
+                    file: tf.rel.clone(),
+                    line: li + 1,
+                    rule: "artifact-exists",
+                    message: format!("referenced artifact `{path}` does not exist on disk"),
+                });
+            }
+        }
+    }
+}
+
+/// Filename-ish character for artifact reference extraction.
+fn is_artifact_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '.' | '_' | '-' | '*')
+}
+
+/// Extract `EXPERIMENTS_OUTPUT/<file>` and `BENCH_<name>.json` references.
+/// Glob references (containing `*`) are skipped — they are patterns, not
+/// file claims.
+fn artifact_refs(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let prefix = "EXPERIMENTS_OUTPUT/";
+    let mut start = 0usize;
+    while let Some(pos) = line.get(start..).and_then(|s| s.find(prefix)) {
+        let at = start + pos + prefix.len();
+        let name: String = line
+            .get(at..)
+            .unwrap_or("")
+            .chars()
+            .take_while(|&c| is_artifact_char(c))
+            .collect();
+        let name = name.trim_end_matches('.');
+        if !name.is_empty() && !name.contains('*') {
+            out.push(format!("{prefix}{name}"));
+        }
+        start = at;
+    }
+    let mut start = 0usize;
+    while let Some(pos) = line.get(start..).and_then(|s| s.find("BENCH_")) {
+        let at = start + pos;
+        let boundary_ok = line[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let name: String = line
+            .get(at..)
+            .unwrap_or("")
+            .chars()
+            .take_while(|&c| is_artifact_char(c))
+            .collect();
+        let name = name.trim_end_matches('.').to_string();
+        if boundary_ok && name.ends_with(".json") && !name.contains('*') {
+            out.push(name);
+        }
+        start = at + "BENCH_".len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::workspace::{classify, compute_test_mask};
+
+    /// Build a fixture [`SourceFile`] as if it lived in `crates/<name>/src/`.
+    fn fixture(crate_name: &str, src: &str) -> SourceFile {
+        let lines = scan(src);
+        let test_mask = compute_test_mask(&lines);
+        SourceFile {
+            rel: format!("crates/{crate_name}/src/fixture.rs"),
+            crate_name: crate_name.to_string(),
+            class: classify(crate_name),
+            is_binary: false,
+            is_crate_root: false,
+            lines,
+            test_mask,
+        }
+    }
+
+    fn lint(crate_name: &str, src: &str) -> LintOutcome {
+        let f = fixture(crate_name, src);
+        let mut out = LintOutcome::default();
+        check_source(&f, &mut out);
+        out.sort();
+        out
+    }
+
+    fn rule_hits(out: &LintOutcome) -> Vec<&'static str> {
+        out.violations.iter().map(|d| d.rule).collect()
+    }
+
+    // -- hash-container -------------------------------------------------
+
+    #[test]
+    fn hash_container_fires_in_determinism_crates_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rule_hits(&lint("core", src)), vec!["hash-container"]);
+        assert!(rule_hits(&lint("baselines", src)).is_empty());
+    }
+
+    #[test]
+    fn hash_container_ignores_strings_and_comments() {
+        let src = "// a HashMap would be wrong here\npub fn f() -> &'static str { \"HashMap\" }\n";
+        assert!(rule_hits(&lint("core", src)).is_empty());
+    }
+
+    #[test]
+    fn hash_container_allow_is_recorded_not_violated() {
+        let src = "// lint:allow(hash-container) lookup-only, never iterated\nuse std::collections::HashMap;\n";
+        let out = lint("core", src);
+        assert!(out.violations.is_empty());
+        assert_eq!(out.allowed.len(), 1);
+        assert_eq!(out.allowed.first().map(|a| a.rule), Some("hash-container"));
+        assert!(out
+            .allowed
+            .first()
+            .is_some_and(|a| a.justification.contains("lookup-only")));
+    }
+
+    // -- wall-clock -----------------------------------------------------
+
+    #[test]
+    fn wall_clock_fires_in_libraries_not_bench() {
+        let src = "pub fn t() { let _ = std::time::Instant::now(); }\n";
+        let hits = rule_hits(&lint("plan", src));
+        assert!(hits.contains(&"wall-clock"));
+        assert!(rule_hits(&lint("bench", src)).is_empty());
+    }
+
+    // -- panic rules ----------------------------------------------------
+
+    #[test]
+    fn unwrap_fires_outside_tests_only() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rule_hits(&lint("plan", src)), vec!["panic-unwrap"]);
+        let masked = "#[cfg(test)]\nmod tests {\n    fn t(x: Option<u32>) { x.unwrap(); }\n}\n";
+        assert!(rule_hits(&lint("plan", masked)).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_exempt_crates_is_fine() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(rule_hits(&lint("cli", src)).is_empty());
+    }
+
+    #[test]
+    fn expect_requires_justification() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.expect(\"set by ctor\") }\n";
+        assert_eq!(rule_hits(&lint("ml", src)), vec!["panic-expect"]);
+        let allowed = "// lint:allow(panic-expect) ctor always sets the field\npub fn f(x: Option<u32>) -> u32 { x.expect(\"set by ctor\") }\n";
+        let out = lint("ml", allowed);
+        assert!(out.violations.is_empty());
+        assert_eq!(out.allowed.len(), 1);
+    }
+
+    #[test]
+    fn allow_with_empty_justification_does_not_suppress() {
+        let src = "// lint:allow(panic-unwrap)\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rule_hits(&lint("plan", src)), vec!["panic-unwrap"]);
+    }
+
+    #[test]
+    fn panic_macro_fires_but_not_in_strings_or_asserts() {
+        assert_eq!(
+            rule_hits(&lint("core", "pub fn f() { panic!(\"boom\"); }\n")),
+            vec!["panic-macro"]
+        );
+        assert!(rule_hits(&lint("core", "pub fn f() -> &'static str { \"panic!\" }\n")).is_empty());
+        assert!(rule_hits(&lint(
+            "core",
+            "pub fn f(n: usize) { debug_assert!(n > 0); }\n"
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn literal_index_fires_but_slice_types_do_not() {
+        assert_eq!(
+            rule_hits(&lint("vector", "pub fn f(v: &[u32]) -> u32 { v[0] }\n")),
+            vec!["index-literal"]
+        );
+        assert!(rule_hits(&lint(
+            "vector",
+            "pub fn f(v: &[u32], i: usize) -> u32 { v[i] }\n"
+        ))
+        .is_empty());
+        assert!(rule_hits(&lint(
+            "vector",
+            "pub const W: [f64; 3] = [1.0, 2.0, 3.0];\n"
+        ))
+        .is_empty());
+    }
+
+    // -- contract rules -------------------------------------------------
+
+    #[test]
+    fn cost_oracle_impl_must_define_width() {
+        let bad = "impl CostOracle for Flat {\n    fn cost_row(&self, r: &[f64]) -> f64 { r.len() as f64 }\n}\n";
+        assert_eq!(rule_hits(&lint("engine", bad)), vec!["oracle-width"]);
+        let good = "impl CostOracle for Flat {\n    fn width(&self) -> usize { 4 }\n}\n";
+        assert!(rule_hits(&lint("engine", good)).is_empty());
+        let unrelated = "impl Flat {\n    fn helper(&self) -> usize { 4 }\n}\n";
+        assert!(rule_hits(&lint("engine", unrelated)).is_empty());
+    }
+
+    #[test]
+    fn cost_batch_override_needs_width_guard() {
+        let bad =
+            "fn cost_batch(&self, rows: RowsView<'_>, out: &mut Vec<f64>) {\n    out.clear();\n}\n";
+        assert_eq!(rule_hits(&lint("engine", bad)), vec!["cost-batch-guard"]);
+        let good = "fn cost_batch(&self, rows: RowsView<'_>, out: &mut Vec<f64>) {\n    debug_assert_eq!(rows.width, self.width());\n    out.clear();\n}\n";
+        assert!(rule_hits(&lint("engine", good)).is_empty());
+        let decl = "fn cost_batch(&self, rows: RowsView<'_>, out: &mut Vec<f64>);\n";
+        assert!(rule_hits(&lint("engine", decl)).is_empty());
+    }
+
+    #[test]
+    fn raw_platform_usize_params_are_flagged() {
+        let bad = "pub fn cost(platform: usize) -> f64 { platform as f64 }\n";
+        assert_eq!(rule_hits(&lint("engine", bad)), vec!["platform-id"]);
+        // Counts, typed ids, private fns, and robopt-platforms itself are fine.
+        assert!(rule_hits(&lint("engine", "pub fn with(n_platforms: usize) {}\n")).is_empty());
+        assert!(rule_hits(&lint(
+            "engine",
+            "pub fn cost(platform: PlatformId) -> f64 { 0.0 }\n"
+        ))
+        .is_empty());
+        assert!(rule_hits(&lint(
+            "engine",
+            "fn cost(platform: usize) -> f64 { platform as f64 }\n"
+        ))
+        .is_empty());
+        assert!(rule_hits(&lint("platforms", bad)).is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert_eq!(rule_hits(&lint("engine", bad)), vec!["safety-comment"]);
+        let good = "// SAFETY: caller guarantees p is valid for reads\npub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert!(rule_hits(&lint("engine", good)).is_empty());
+    }
+
+    #[test]
+    fn crate_roots_must_carry_both_attrs() {
+        let mut f = fixture("plan", "//! docs\npub mod x;\n");
+        f.is_crate_root = true;
+        let mut out = LintOutcome::default();
+        check_source(&f, &mut out);
+        assert_eq!(rule_hits(&out), vec!["crate-attrs", "crate-attrs"]);
+
+        let mut f = fixture(
+            "plan",
+            "#![forbid(unsafe_code)]\n#![deny(missing_debug_implementations)]\npub mod x;\n",
+        );
+        f.is_crate_root = true;
+        let mut out = LintOutcome::default();
+        check_source(&f, &mut out);
+        assert!(out.violations.is_empty());
+    }
+
+    // -- manifests and docs ---------------------------------------------
+
+    #[test]
+    fn non_workspace_deps_are_flagged() {
+        let tf = TextFile {
+            rel: "crates/x/Cargo.toml".to_string(),
+            text: "[package]\nname = \"x\"\n[dependencies]\nserde = \"1.0\"\nrobopt-plan = { workspace = true }\n[dev-dependencies]\nrand = { version = \"0.8\" }\n".to_string(),
+        };
+        let mut out = LintOutcome::default();
+        check_manifest(&tf, &mut out);
+        let lines: Vec<usize> = out.violations.iter().map(|d| d.line).collect();
+        assert_eq!(rule_hits(&out), vec!["workspace-deps", "workspace-deps"]);
+        assert_eq!(lines, vec![4, 7]);
+    }
+
+    #[test]
+    fn missing_artifacts_are_flagged_globs_skipped() {
+        let tf = TextFile {
+            rel: "CHANGES.md".to_string(),
+            text: "wrote EXPERIMENTS_OUTPUT/definitely_missing.json and EXPERIMENTS_OUTPUT/*.txt\n"
+                .to_string(),
+        };
+        let mut out = LintOutcome::default();
+        check_doc(Path::new("/nonexistent-root"), &tf, &mut out);
+        assert_eq!(rule_hits(&out), vec!["artifact-exists"]);
+        assert!(out
+            .violations
+            .first()
+            .is_some_and(|d| d.message.contains("definitely_missing.json")));
+    }
+
+    #[test]
+    fn artifact_refs_extraction() {
+        assert_eq!(
+            artifact_refs("see EXPERIMENTS_OUTPUT/fig01.json. done"),
+            vec!["EXPERIMENTS_OUTPUT/fig01.json"]
+        );
+        assert_eq!(
+            artifact_refs("BENCH_enum_fast.json vs WORKBENCH_x.json"),
+            vec!["BENCH_enum_fast.json"]
+        );
+        assert!(artifact_refs("model-*.json under EXPERIMENTS_OUTPUT/*.txt").is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! The lint must pass over the workspace it ships in: a violation here
+//! means either the tree regressed or a rule got too eager — both block CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let outcome = robopt_lint::run_lint(&root).expect("workspace loads");
+    let rendered: Vec<String> = outcome.violations.iter().map(|d| d.to_string()).collect();
+    assert!(
+        outcome.is_clean(),
+        "robopt-lint found violations in the real workspace:\n{}",
+        rendered.join("\n")
+    );
+    // The sweep really covered the tree (root facade + 10 crates), and
+    // every suppression in it carries a non-empty justification.
+    assert!(
+        outcome.files_scanned > 40,
+        "only {} files scanned — discovery is broken",
+        outcome.files_scanned
+    );
+    assert!(!outcome.allowed.is_empty());
+    assert!(outcome.allowed.iter().all(|a| !a.justification.is_empty()));
+}

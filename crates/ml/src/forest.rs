@@ -100,6 +100,7 @@ impl RandomForest {
             width: rows.width(),
             trees: trees
                 .into_iter()
+                // lint:allow(panic-expect) the spawn blocks tile 0..n_trees exactly, so every slot is filled once the scope joins
                 .map(|t| t.expect("every tree fitted"))
                 .collect(),
         }

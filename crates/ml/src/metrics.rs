@@ -81,11 +81,9 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
 fn ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&i, &j| {
-        values[i]
-            .partial_cmp(&values[j])
-            .expect("rank correlation over NaN is undefined")
-    });
+    // `total_cmp` keeps the sort deterministic (and panic-free) even if a
+    // NaN sneaks in; rank correlation over NaN is undefined either way.
+    idx.sort_by(|&i, &j| values[i].total_cmp(&values[j]));
     let mut out = vec![0.0; n];
     let mut start = 0;
     while start < n {

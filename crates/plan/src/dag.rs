@@ -155,6 +155,7 @@ impl LogicalPlan {
         }
         let mut seen = vec![false; n];
         let mut stack = vec![0u32];
+        // lint:allow(index-literal) n == 0 returned early above, so operator 0 exists
         seen[0] = true;
         let mut count = 1;
         while let Some(u) = stack.pop() {

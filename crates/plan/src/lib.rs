@@ -6,6 +6,9 @@
 //! the paper's plans (WordCount, TPC-H Q3, synthetic pipelines) plus random
 //! connected DAGs for property tests.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod dag;
 pub mod op;
 pub mod rng;

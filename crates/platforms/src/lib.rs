@@ -22,6 +22,9 @@
 //!   floors, `n·log n` shuffle terms, memory cliffs) and a noise hook;
 //!   it will generate TDGEN training labels.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod availability;
 pub mod channels;
 pub mod registry;

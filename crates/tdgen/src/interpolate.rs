@@ -39,7 +39,7 @@ impl PiecewisePoly {
             xs.len()
         );
         assert!(
-            xs.windows(2).all(|w| w[0] < w[1]),
+            xs.iter().zip(xs.iter().skip(1)).all(|(a, b)| a < b),
             "knot abscissae must be strictly increasing"
         );
         let n_pieces = (xs.len() - 1) / (WINDOW - 1);
@@ -86,13 +86,16 @@ impl PiecewisePoly {
 
 /// Newton divided-difference coefficients for one window.
 fn newton_coeffs(xs: &[f64], ys: &[f64]) -> [f64; WINDOW] {
+    // lint:allow(panic-expect) callers slice exact WINDOW-length windows out of the knot grid
     let mut table: [f64; WINDOW] = ys.try_into().expect("window of 6 ordinates");
     let mut out = [0.0; WINDOW];
+    // lint:allow(index-literal) fixed-size [f64; WINDOW] arrays, in-bounds by construction
     out[0] = table[0];
     for order in 1..WINDOW {
         for i in 0..WINDOW - order {
             table[i] = (table[i + 1] - table[i]) / (xs[i + order] - xs[i]);
         }
+        // lint:allow(index-literal) fixed-size [f64; WINDOW] arrays, in-bounds by construction
         out[order] = table[0];
     }
     out

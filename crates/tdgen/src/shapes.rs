@@ -178,6 +178,7 @@ fn weighted_kind(
         }
         draw -= w;
     }
+    // lint:allow(panic-macro) draw < total = sum(weights) by gen_range's contract, so the loop always returns
     unreachable!("weighted draw exhausted the pool");
 }
 

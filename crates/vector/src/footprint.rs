@@ -60,6 +60,133 @@ pub fn footprint_hash(boundary_ops: &[u32], assign: &[u8]) -> u64 {
     h
 }
 
+/// A deterministic `u64 -> u32` map for pruning footprints.
+///
+/// Open addressing (linear probing) over a power-of-two slot table keyed by
+/// a SplitMix64-finalized hash, with entries kept in a side `Vec` in
+/// **insertion order** — iteration order is a pure function of the insert
+/// sequence, never of a per-process hasher seed. This replaces the
+/// `std::collections::HashMap<u64, _>` footprint tables the enumerators
+/// used: `std`'s map is seeded per process (`RandomState`), so any code
+/// path that ever iterates it is a latent cross-run nondeterminism bug the
+/// `robopt-lint` `hash-container` rule now rejects outright in
+/// determinism-critical crates.
+///
+/// `clear` keeps both allocations, so a warmed table serves the
+/// enumeration hot loop without growing (same pooling discipline as
+/// [`crate::EnumMatrix`]).
+#[derive(Debug, Clone, Default)]
+pub struct FootprintTable {
+    /// Slot table: 0 = empty, else entry index + 1. Length is a power of
+    /// two; `mask = slots.len() - 1`.
+    slots: Vec<u32>,
+    /// `(key, value)` pairs in insertion order.
+    entries: Vec<(u64, u32)>,
+}
+
+impl FootprintTable {
+    const MIN_SLOTS: usize = 16;
+
+    pub fn new() -> Self {
+        FootprintTable::default()
+    }
+
+    /// Remove every entry, keeping both allocations for reuse.
+    pub fn clear(&mut self) {
+        self.slots.fill(0);
+        self.entries.clear();
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Probe start for `key` in the current slot table.
+    #[inline]
+    fn start(&self, key: u64) -> usize {
+        mix(key) as usize & (self.slots.len() - 1)
+    }
+
+    /// Value stored under `key`, if any.
+    pub fn get(&self, key: u64) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut i = self.start(key);
+        loop {
+            match self.slots.get(i).copied() {
+                None | Some(0) => return None,
+                Some(slot) => {
+                    if let Some(&(k, v)) = self.entries.get(slot as usize - 1) {
+                        if k == key {
+                            return Some(v);
+                        }
+                    }
+                }
+            }
+            i = (i + 1) & (self.slots.len() - 1);
+        }
+    }
+
+    /// Insert `key -> value`, replacing any previous value for `key`.
+    pub fn insert(&mut self, key: u64, value: u32) {
+        if self.entries.len() + 1 > self.slots.len() / 8 * 7 {
+            self.grow();
+        }
+        let mut i = self.start(key);
+        loop {
+            match self.slots.get(i).copied() {
+                None | Some(0) => break,
+                Some(slot) => {
+                    if let Some(e) = self.entries.get_mut(slot as usize - 1) {
+                        if e.0 == key {
+                            e.1 = value;
+                            return;
+                        }
+                    }
+                }
+            }
+            i = (i + 1) & (self.slots.len() - 1);
+        }
+        self.entries.push((key, value));
+        if let Some(s) = self.slots.get_mut(i) {
+            *s = self.entries.len() as u32;
+        }
+    }
+
+    /// Double the slot table and re-seat every entry (values untouched,
+    /// insertion order preserved by construction).
+    fn grow(&mut self) {
+        let new_len = (self.slots.len() * 2).max(Self::MIN_SLOTS);
+        self.slots.clear();
+        self.slots.resize(new_len, 0);
+        let mask = new_len - 1;
+        for (idx, &(key, _)) in self.entries.iter().enumerate() {
+            let mut i = mix(key) as usize & mask;
+            loop {
+                match self.slots.get(i).copied() {
+                    None | Some(0) => break,
+                    Some(_) => i = (i + 1) & mask,
+                }
+            }
+            if let Some(s) = self.slots.get_mut(i) {
+                *s = idx as u32 + 1;
+            }
+        }
+    }
+
+    /// Entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +218,57 @@ mod tests {
         );
         // Order/identity of boundary ops matters.
         assert_ne!(footprint_hash(&[0, 3], &a1), footprint_hash(&[0, 2], &a1));
+    }
+
+    #[test]
+    fn footprint_table_get_insert_replace() {
+        let mut t = FootprintTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(42), None);
+        t.insert(42, 7);
+        t.insert(43, 8);
+        assert_eq!(t.get(42), Some(7));
+        assert_eq!(t.get(43), Some(8));
+        assert_eq!(t.get(44), None);
+        t.insert(42, 9); // replace, not duplicate
+        assert_eq!(t.get(42), Some(9));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn footprint_table_survives_growth_and_adversarial_keys() {
+        let mut t = FootprintTable::new();
+        // Sequential keys and keys colliding in the low bits both force
+        // probing and several rehashes.
+        for i in 0..1000u64 {
+            t.insert(i << 32, i as u32);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(t.get(i << 32), Some(i as u32), "key {i}");
+        }
+        assert_eq!(t.get(1000u64 << 32), None);
+    }
+
+    #[test]
+    fn footprint_table_iterates_in_insertion_order_and_clear_reuses() {
+        let mut t = FootprintTable::new();
+        let keys = [99u64, 3, 500, 1, 77];
+        for (v, &k) in keys.iter().enumerate() {
+            t.insert(k, v as u32);
+        }
+        let got: Vec<(u64, u32)> = t.iter().collect();
+        let want: Vec<(u64, u32)> = keys
+            .iter()
+            .enumerate()
+            .map(|(v, &k)| (k, v as u32))
+            .collect();
+        assert_eq!(got, want, "iteration must follow insertion order");
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.get(99), None);
+        t.insert(5, 1);
+        assert_eq!(t.get(5), Some(1));
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(5, 1)]);
     }
 }

@@ -9,14 +9,18 @@
 //! * [`matrix::EnumMatrix`] — row-major flat `Vec<f64>` storage with reused
 //!   buffers and an allocation-event counter for the zero-alloc guarantee;
 //! * [`merge`] — the fused add-with-max-cells merge kernel;
-//! * [`footprint`] — scope bitsets and Def-2 pruning footprints hashed to
-//!   `u64`.
+//! * [`footprint`] — scope bitsets, Def-2 pruning footprints hashed to
+//!   `u64`, and the deterministic insertion-ordered
+//!   [`footprint::FootprintTable`] the pruning pass keys on.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod footprint;
 pub mod layout;
 pub mod matrix;
 pub mod merge;
 
-pub use footprint::{footprint_hash, Scope};
+pub use footprint::{footprint_hash, FootprintTable, Scope};
 pub use layout::FeatureLayout;
 pub use matrix::{alloc_events, EnumMatrix, RowsView, NO_PLATFORM};

@@ -29,6 +29,9 @@
 //!   synthesized rather than simulated;
 //! * [`robopt_engine`], [`robopt_cli`] — stubs landing in later PRs.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub use robopt_baselines as baselines;
 pub use robopt_cli as cli;
 pub use robopt_core as core;

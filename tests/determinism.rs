@@ -1,0 +1,136 @@
+//! Cross-process determinism: a seeded run is a pure function of the seed.
+//!
+//! The FootprintTable migration (this PR) removed the last per-process
+//! randomness from the enumeration path — std's `HashMap` seeds its hasher
+//! per process, so footprint-merge *visit order* (and thus any
+//! tie-breaking, stats, and buffer growth pattern) could differ between
+//! two runs of the same binary. This test re-executes itself in two child
+//! processes and asserts the digest of everything observable — chosen
+//! assignments, cost bits, enumeration stats, object-baseline costs, and
+//! seeded forest predictions — is byte-identical across processes, and
+//! matches the in-process digest.
+
+use std::process::Command;
+
+use robopt_baselines::ObjectEnumerator;
+use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
+use robopt_ml::{simulator_training_set, ForestConfig, RandomForest, SamplerConfig};
+use robopt_plan::{workloads, SplitMix64, N_OPERATOR_KINDS};
+use robopt_platforms::PlatformRegistry;
+use robopt_vector::FeatureLayout;
+
+const CHILD_ENV: &str = "ROBOPT_DETERMINISM_CHILD";
+
+fn mix(h: &mut u64, v: u64) {
+    *h = (*h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(27);
+}
+
+/// Digest every observable output of a fixed-seed optimizer run.
+fn seeded_run_digest() -> u64 {
+    let mut h = 0xD1657_u64;
+
+    // Vectorized + object-graph enumeration over random connected DAGs.
+    let mut rng = SplitMix64::new(0xDE7E_4213);
+    let mut vector_enum = Enumerator::new();
+    let mut object_enum = ObjectEnumerator::new();
+    for _ in 0..12 {
+        let n = 3 + rng.gen_range(6); // 3..=8 operators
+        let k = 2 + rng.gen_range(3); // 2..=4 platforms
+        let plan = workloads::random_connected_dag(&mut rng, n, 0.4);
+        let registry = PlatformRegistry::uniform(k);
+        let layout = FeatureLayout::new(k, N_OPERATOR_KINDS);
+        let oracle = AnalyticOracle::for_registry(&registry, &layout);
+        let opts = EnumOptions::new(&registry).with_oracle(&oracle);
+
+        let (best, stats) = vector_enum.enumerate(&plan, &layout, opts);
+        for &p in &best.raw_assignments() {
+            mix(&mut h, p as u64);
+        }
+        mix(&mut h, best.cost.to_bits());
+        mix(&mut h, stats.generated);
+        mix(&mut h, stats.kept);
+        mix(&mut h, stats.merges);
+        mix(&mut h, stats.peak_rows);
+
+        let object = object_enum.enumerate(&plan, &layout, opts);
+        mix(&mut h, object.cost.to_bits());
+        for &p in &object.raw_assignments() {
+            mix(&mut h, p as u64);
+        }
+    }
+
+    // Seeded forest training (thread-parallel bagging) + inference.
+    let registry = PlatformRegistry::named();
+    let layout = FeatureLayout::new(registry.len(), N_OPERATOR_KINDS);
+    let cfg = SamplerConfig::new().with_seed(41).with_noise(0.05);
+    let train = simulator_training_set(&registry, &layout, &cfg, 120);
+    let forest = RandomForest::fit(
+        &ForestConfig {
+            n_trees: 8,
+            ..ForestConfig::default()
+        },
+        train.rows_view(),
+        &train.labels,
+    );
+    let probe = simulator_training_set(
+        &registry,
+        &layout,
+        &SamplerConfig::new().with_seed(42).with_noise(0.0),
+        24,
+    );
+    let rows = probe.rows_view();
+    for r in 0..rows.rows() {
+        mix(&mut h, forest.predict(rows.row(r)).to_bits());
+    }
+    h
+}
+
+#[test]
+fn seeded_run_is_byte_identical_across_processes() {
+    if std::env::var_os(CHILD_ENV).is_some() {
+        // Child mode: print the digest for the parent and stop.
+        println!("DIGEST={:016x}", seeded_run_digest());
+        return;
+    }
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let child_digest = || {
+        let out = Command::new(&exe)
+            .args([
+                "--exact",
+                "seeded_run_is_byte_identical_across_processes",
+                "--nocapture",
+                "--test-threads=1",
+            ])
+            .env(CHILD_ENV, "1")
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            out.status.success(),
+            "child run failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The libtest harness prints "test <name> ... " before the test's
+        // own output, so the marker is not line-initial.
+        String::from_utf8_lossy(&out.stdout)
+            .split_once("DIGEST=")
+            .map(|(_, rest)| {
+                rest.chars()
+                    .take_while(char::is_ascii_hexdigit)
+                    .collect::<String>()
+            })
+            .expect("child printed a digest")
+    };
+
+    let first = child_digest();
+    let second = child_digest();
+    assert_eq!(
+        first, second,
+        "two processes of the same binary disagree on a seeded run"
+    );
+    assert_eq!(
+        first,
+        format!("{:016x}", seeded_run_digest()),
+        "in-process digest disagrees with child processes"
+    );
+}
