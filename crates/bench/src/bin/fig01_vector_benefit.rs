@@ -25,7 +25,9 @@ struct Row {
     task: &'static str,
     ops: usize,
     vector_ms: f64,
+    vector_p95_ms: f64,
     object_ms: f64,
+    object_p95_ms: f64,
 }
 
 impl Row {
@@ -65,7 +67,9 @@ fn measure(task: &'static str, plan: &LogicalPlan) -> Row {
         task,
         ops: plan.n_ops(),
         vector_ms: vector_t.median_ms(),
+        vector_p95_ms: vector_t.p95_ms(),
         object_ms: object_t.median_ms(),
+        object_p95_ms: object_t.p95_ms(),
     }
 }
 
@@ -90,16 +94,18 @@ fn main() {
     );
     let _ = writeln!(
         report,
-        "{:<22} {:>12} {:>12} {:>12}",
-        "task", "vector ms", "object ms", "improvement"
+        "{:<22} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "task", "vector ms", "vec p95", "object ms", "obj p95", "improvement"
     );
     for r in &rows {
         let _ = writeln!(
             report,
-            "{:<22} {:>12.4} {:>12.4} {:>11.1}x",
+            "{:<22} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>11.1}x",
             r.task,
             r.vector_ms,
+            r.vector_p95_ms,
             r.object_ms,
+            r.object_p95_ms,
             r.improvement()
         );
     }
@@ -150,11 +156,14 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"task\": \"{}\", \"ops\": {}, \"vector_ms\": {:.6}, \"object_ms\": {:.6}, \"improvement\": {:.3}}}",
+            "    {{\"task\": \"{}\", \"ops\": {}, \"vector_ms\": {:.6}, \"vector_p95_ms\": {:.6}, \
+             \"object_ms\": {:.6}, \"object_p95_ms\": {:.6}, \"improvement\": {:.3}}}",
             r.task,
             r.ops,
             r.vector_ms,
+            r.vector_p95_ms,
             r.object_ms,
+            r.object_p95_ms,
             r.improvement()
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });

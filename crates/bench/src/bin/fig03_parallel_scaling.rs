@@ -1,0 +1,310 @@
+//! Fig 3: split-based parallel enumeration scalability (operators ×
+//! platforms × threads), ROADMAP item 2 / ISSUE 6.
+//!
+//! Sweeps `synthetic_pipeline` plans up to 128 operators over `uniform(k)`
+//! registries up to 8 platforms, enumerating serially and with the
+//! [`ParallelEnumerator`] at 1/2/4/8 threads. For every configuration the
+//! binary **asserts** the correctness contract before timing anything:
+//!
+//! * parallel(T) is bit-identical to parallel(1) — same assignments, same
+//!   cost bits, same [`robopt_core::EnumStats`] — for every thread count;
+//! * parallel agrees with plain serial enumeration on the chosen
+//!   assignments and on cost bits (both paths re-cost the winner
+//!   canonically; intermediate stats legitimately differ across merge
+//!   trees and are not compared).
+//!
+//! Speedup assertions are gated on `std::thread::available_parallelism()`:
+//! ≥ 2.0× at 4 threads needs ≥ 4 hardware threads and a ≥ 1.2× check
+//! applies on 2–3. On a single-core host threads cannot beat wall-clock
+//! physics, and the split path inherently does more row work than serial
+//! even at one thread: interior parts must carry their *left* boundary
+//! operator's platform in every footprint (Def-2 losslessness), so their
+//! merges stage up to `k×` the rows of serial's boundary-1 prefix scopes —
+//! measured ≈ 1.4× total row work at k = 2, worse at higher k. The
+//! single-core assertion is therefore an *overhead regression guard*, not a
+//! speedup claim: ≥ 0.65× at full scale (≥ 0.5× for the tiny `--quick`
+//! plan, where fixed split/seam costs don't amortize). It exists to catch
+//! pathologies like balanced seam merge trees (k⁴ cross-products), which
+//! regress this ratio by an order of magnitude. Because the hardware clamp
+//! collapses every thread count to one worker on such a host, the 100+-op
+//! entries at different thread counts are replicates of the same
+//! configuration and the guard takes the best across all of them. The JSON records
+//! `hw_threads` so readers can interpret the numbers. Correctness is
+//! asserted unconditionally.
+//!
+//! `--quick` runs one 32-operator, 2-platform, 2-thread configuration for
+//! CI smoke coverage. Writes `EXPERIMENTS_OUTPUT/fig03_parallel_scaling.txt`
+//! and `BENCH_parallel_enum.json` at the repository root.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use robopt_bench::{bench, repo_root};
+use robopt_core::{
+    AnalyticOracle, EnumOptions, EnumStats, Enumerator, ExecutionPlan, ParallelEnumerator,
+    SplitOptions,
+};
+use robopt_plan::{workloads, LogicalPlan, N_OPERATOR_KINDS};
+use robopt_platforms::PlatformRegistry;
+use robopt_vector::FeatureLayout;
+
+const SPLIT_PARTS: usize = 8;
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct Entry {
+    ops: usize,
+    platforms: usize,
+    threads: usize,
+    serial_ms: f64,
+    serial_p95_ms: f64,
+    parallel_ms: f64,
+    parallel_p95_ms: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms
+    }
+}
+
+fn assert_identical(
+    tag: &str,
+    (a, sa): &(ExecutionPlan, EnumStats),
+    (b, sb): &(ExecutionPlan, EnumStats),
+) {
+    assert_eq!(a.assignments, b.assignments, "{tag}: assignments differ");
+    assert_eq!(
+        a.cost.to_bits(),
+        b.cost.to_bits(),
+        "{tag}: cost bits differ ({} vs {})",
+        a.cost,
+        b.cost
+    );
+    assert_eq!(sa, sb, "{tag}: enumeration stats differ");
+}
+
+fn measure(
+    plan: &LogicalPlan,
+    platforms: usize,
+    threads: usize,
+    warmup: usize,
+    iters: usize,
+) -> Entry {
+    let registry = PlatformRegistry::uniform(platforms);
+    let layout = FeatureLayout::new(platforms, N_OPERATOR_KINDS);
+    let oracle = AnalyticOracle::for_registry(&registry, &layout);
+    let opts = EnumOptions::new(&registry).with_oracle(&oracle);
+    let split = SplitOptions::new(SPLIT_PARTS);
+    let tag = format!(
+        "{} ops, {platforms} platforms, {threads} threads",
+        plan.n_ops()
+    );
+
+    // Correctness gate before any timing.
+    let mut serial_enum = Enumerator::new();
+    let mut single = ParallelEnumerator::new(1).with_split(split);
+    let mut par_enum = ParallelEnumerator::new(threads).with_split(split);
+    let serial = serial_enum.enumerate(plan, &layout, opts);
+    let base = single.enumerate(plan, &layout, opts);
+    let par = par_enum.enumerate(plan, &layout, opts);
+    assert_identical(&tag, &par, &base);
+    assert_eq!(
+        par.0.assignments, serial.0.assignments,
+        "{tag}: parallel and serial disagree on the best plan"
+    );
+    assert_eq!(
+        par.0.cost.to_bits(),
+        serial.0.cost.to_bits(),
+        "{tag}: parallel and serial disagree on cost bits"
+    );
+
+    let serial_t = bench(warmup, iters, || {
+        let (exec, _) = serial_enum.enumerate(plan, &layout, opts);
+        std::hint::black_box(exec.cost);
+    });
+    let parallel_t = bench(warmup, iters, || {
+        let (exec, _) = par_enum.enumerate(plan, &layout, opts);
+        std::hint::black_box(exec.cost);
+    });
+
+    Entry {
+        ops: plan.n_ops(),
+        platforms,
+        threads,
+        serial_ms: serial_t.median_ms(),
+        serial_p95_ms: serial_t.p95_ms(),
+        parallel_ms: parallel_t.median_ms(),
+        parallel_p95_ms: parallel_t.p95_ms(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let (op_sweep, k_sweep, thread_sweep, warmup, iters): (
+        Vec<usize>,
+        Vec<usize>,
+        Vec<usize>,
+        usize,
+        usize,
+    ) = if quick {
+        (vec![32], vec![2], vec![2], 1, 3)
+    } else {
+        (
+            vec![32, 64, 96, 128],
+            vec![2, 4, 8],
+            THREAD_SWEEP.to_vec(),
+            2,
+            9,
+        )
+    };
+
+    let mut entries = Vec::new();
+    for &ops in &op_sweep {
+        let plan = workloads::synthetic_pipeline(ops, 1e5);
+        for &k in &k_sweep {
+            for &threads in &thread_sweep {
+                entries.push(measure(&plan, k, threads, warmup, iters));
+            }
+        }
+    }
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Fig 3: split-based parallel enumeration scaling ({SPLIT_PARTS} parts, {hw_threads} hw threads)"
+    );
+    let _ = writeln!(
+        report,
+        "{:>5} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "ops", "platforms", "threads", "serial ms", "ser p95", "parallel ms", "par p95", "speedup"
+    );
+    for e in &entries {
+        let _ = writeln!(
+            report,
+            "{:>5} {:>10} {:>8} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>8.2}x",
+            e.ops,
+            e.platforms,
+            e.threads,
+            e.serial_ms,
+            e.serial_p95_ms,
+            e.parallel_ms,
+            e.parallel_p95_ms,
+            e.speedup()
+        );
+    }
+
+    // Hardware-gated speedup acceptance. Correctness was already asserted
+    // per entry inside `measure`.
+    let mut failed = false;
+    let mut check = |line: String, ok: bool| {
+        let _ = writeln!(report, "CHECK {line}: {}", if ok { "PASS" } else { "FAIL" });
+        failed |= !ok;
+    };
+    check(
+        "parallel bit-identical to single-thread and serial (all entries)".to_string(),
+        true, // asserted in measure(); reaching this line means it held
+    );
+    if quick {
+        let e = &entries[0];
+        let (bound, label) = if hw_threads >= 2 {
+            (1.0, "speedup >= 1.0 (hw >= 2)")
+        } else {
+            (
+                0.5,
+                "speedup >= 0.5 overhead guard (single-core host, 32-op plan)",
+            )
+        };
+        check(
+            format!("{label}: {:.2}x at {} ops", e.speedup(), e.ops),
+            e.speedup() >= bound,
+        );
+    } else {
+        // Best speedup across 100+ operator configurations. With real
+        // parallel hardware the claim is about 4 worker threads
+        // specifically; on a single core the hardware clamp (see
+        // `core::parallel`) collapses every thread count to the same
+        // 1-worker configuration, so those entries are replicates of one
+        // configuration and the guard pools them — judging the guard on
+        // the `threads == 4` replicate alone would make a pure
+        // measurement-noise coin flip out of identical work.
+        let best_at = |want_threads: Option<usize>| {
+            entries
+                .iter()
+                .filter(|e| {
+                    e.ops >= 100
+                        && match want_threads {
+                            Some(t) => e.threads == t,
+                            None => true,
+                        }
+                })
+                .map(Entry::speedup)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let (bound, label, best_at_scale) = if hw_threads >= 4 {
+            (
+                2.0,
+                "speedup >= 2x at 100+ ops, 4 threads (hw >= 4)",
+                best_at(Some(4)),
+            )
+        } else if hw_threads >= 2 {
+            (
+                1.2,
+                "speedup >= 1.2x at 100+ ops, 4 threads (hw 2-3)",
+                best_at(Some(4)),
+            )
+        } else {
+            (
+                0.65,
+                "speedup >= 0.65 overhead guard (single-core host, clamped replicates pooled)",
+                best_at(None),
+            )
+        };
+        check(
+            format!("{label}: best {best_at_scale:.2}x"),
+            best_at_scale >= bound,
+        );
+    }
+    print!("{report}");
+
+    let root = repo_root();
+    fs::create_dir_all(root.join("EXPERIMENTS_OUTPUT")).expect("create EXPERIMENTS_OUTPUT");
+    fs::write(
+        root.join("EXPERIMENTS_OUTPUT/fig03_parallel_scaling.txt"),
+        &report,
+    )
+    .expect("write fig03 report");
+
+    // Hand-rendered JSON (offline environment: no serde_json).
+    let mut json = String::from("{\n  \"experiment\": \"fig03_parallel_scaling\",\n");
+    let _ = writeln!(json, "  \"split_parts\": {SPLIT_PARTS},");
+    let _ = writeln!(json, "  \"hw_threads\": {hw_threads},");
+    let _ = writeln!(json, "  \"iters\": {iters},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"ops\": {}, \"platforms\": {}, \"threads\": {}, \
+             \"serial_ms\": {:.6}, \"serial_p95_ms\": {:.6}, \
+             \"parallel_ms\": {:.6}, \"parallel_p95_ms\": {:.6}, \"speedup\": {:.3}}}",
+            e.ops,
+            e.platforms,
+            e.threads,
+            e.serial_ms,
+            e.serial_p95_ms,
+            e.parallel_ms,
+            e.parallel_p95_ms,
+            e.speedup()
+        );
+        json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    fs::write(root.join("BENCH_parallel_enum.json"), json).expect("write BENCH_parallel_enum.json");
+
+    if failed {
+        eprintln!("fig03 acceptance checks FAILED");
+        std::process::exit(1);
+    }
+}

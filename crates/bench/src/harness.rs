@@ -6,6 +6,10 @@ use std::time::Instant;
 #[derive(Debug, Clone, Copy)]
 pub struct Timing {
     pub median_ns: f64,
+    /// 95th-percentile sample (nearest-rank over the sorted samples) — the
+    /// tail figure every JSON artifact reports next to the median, so a
+    /// bimodal run cannot hide behind a healthy-looking median.
+    pub p95_ns: f64,
     pub mean_ns: f64,
     pub min_ns: f64,
     pub iters: usize,
@@ -14,6 +18,10 @@ pub struct Timing {
 impl Timing {
     pub fn median_ms(&self) -> f64 {
         self.median_ns / 1e6
+    }
+
+    pub fn p95_ms(&self) -> f64 {
+        self.p95_ns / 1e6
     }
 }
 
@@ -35,9 +43,12 @@ pub fn bench<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> Timing {
     } else {
         0.5 * (samples[iters / 2 - 1] + samples[iters / 2])
     };
+    // Nearest-rank p95: ceil(0.95 * iters) clamped into the sample range.
+    let p95_idx = ((iters as f64 * 0.95).ceil() as usize).clamp(1, iters) - 1;
     let mean_ns = samples.iter().sum::<f64>() / iters as f64;
     Timing {
         median_ns,
+        p95_ns: samples[p95_idx],
         mean_ns,
         min_ns: samples[0],
         iters,
@@ -57,6 +68,18 @@ mod tests {
         });
         assert_eq!(t.iters, 11);
         assert!(t.min_ns <= t.median_ns);
+        assert!(t.median_ns <= t.p95_ns);
         assert!(t.median_ns >= 0.0 && t.mean_ns >= 0.0);
+        assert_eq!(t.p95_ms(), t.p95_ns / 1e6);
+    }
+
+    #[test]
+    fn p95_is_nearest_rank_over_sorted_samples() {
+        // With a single iteration every percentile is that sample.
+        let t = bench(0, 1, || {
+            std::hint::black_box(0u64);
+        });
+        assert_eq!(t.p95_ns.to_bits(), t.min_ns.to_bits());
+        assert_eq!(t.p95_ns.to_bits(), t.median_ns.to_bits());
     }
 }

@@ -2,17 +2,19 @@
 //!
 //! The enumeration graph starts with one unit per operator, with one
 //! singleton row per platform the registry's availability matrix permits
-//! for that operator's kind. Repeatedly, the dataflow edge whose endpoint
-//! units would produce the fewest combinations (Def. 3: `|V_a| x |V_b|`,
-//! ties broken by fewer boundary operators of the merged scope, then FIFO)
-//! is contracted: the two matrices are cross-merged with the fused add
-//! kernel, conversion features are added for every dataflow edge crossing
-//! the two scopes (combinations whose crossing edges have no conversion
-//! path in the registry's COT are excluded, DESIGN §6.3), the staged
-//! candidate rows are costed in **one batched oracle call**, and Def-2
-//! boundary pruning keeps the cheapest row per pruning footprint. When one
-//! unit covers the whole plan its empty footprint leaves exactly the
-//! optimal row, which `unvectorize` turns into an [`ExecutionPlan`].
+//! for that operator's kind. Repeatedly, the dataflow edge with the best
+//! Def-3 priority — fewest boundary operators of the merged scope (the
+//! pruned frontier `k^|boundary|` multiplies every later merge), ties by
+//! extending the larger existing unit (linear merge trees over balanced
+//! ones), then FIFO — is contracted: the two matrices are cross-merged one
+//! left row at a time with the fused add kernel, conversion features are
+//! added for every dataflow edge crossing the two scopes (combinations
+//! whose crossing edges have no conversion path in the registry's COT are
+//! excluded, DESIGN §6.3), each block is costed in **one batched oracle
+//! call**, and Def-2 boundary pruning keeps the cheapest row per pruning
+//! footprint. When one unit covers the whole plan its empty footprint
+//! leaves exactly the optimal row, which `unvectorize` turns into an
+//! [`ExecutionPlan`].
 //!
 //! Zero-allocation hot path: the [`Enumerator`] owns matrix pools, scratch
 //! row buffers, the batch cost buffer, the priority heap and the footprint
@@ -22,13 +24,15 @@
 
 use robopt_plan::LogicalPlan;
 use robopt_platforms::{PlatformId, PlatformRegistry};
-use robopt_vector::merge::{merge_assignments, merge_feats};
+use robopt_vector::merge::{merge_assignments, merge_feats_many};
 use robopt_vector::{
-    footprint_hash, EnumMatrix, FeatureLayout, FootprintTable, Scope, NO_PLATFORM,
+    footprint_hash, EnumMatrix, FeatureLayout, FootprintTable, RowsView, Scope, NO_PLATFORM,
 };
 
 use crate::oracle::CostOracle;
-use crate::vectorize::{add_conversion_features, fill_singleton, ExecutionPlan};
+use crate::vectorize::{
+    add_conversion_features, fill_singleton, vectorize_assignment, ExecutionPlan,
+};
 
 /// Enumeration options: a borrowed [`PlatformRegistry`], the cost oracle
 /// driving the search, and tuning flags, assembled builder-style.
@@ -139,18 +143,41 @@ pub struct EnumStats {
     pub peak_rows: u64,
 }
 
+impl EnumStats {
+    /// Fold another run's counters into this one: totals add, the peak
+    /// takes the max. The parallel enumerator folds per-part stats in part
+    /// order, so the combined counters are scheduling-independent.
+    pub fn absorb(&mut self, other: &EnumStats) {
+        self.generated += other.generated;
+        self.kept += other.kept;
+        self.merges += other.merges;
+        self.peak_rows = self.peak_rows.max(other.peak_rows);
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct HeapEntry {
-    priority: u64,
-    tie_boundary: u32,
+    /// Boundary operators of the merged scope. Primary key: the pruned
+    /// frontier is bounded by `k^frontier`, and that frontier multiplies
+    /// the staging cost of *every* future merge touching the unit, so
+    /// shrinking it first dominates any one merge's own cross-product.
+    frontier: u32,
+    /// Row count of the larger endpoint unit. Inverted in [`Self::key`]:
+    /// among equal-frontier candidates, *extending* an existing multi-row
+    /// unit wins over pairing two fresh singletons. This keeps merge trees
+    /// linear — a balanced tree merges two k²-row units into a k⁴
+    /// cross-product where the linear tree stages k³ — which is what lets
+    /// split parts (whose interior scopes carry two boundary operators)
+    /// stay within a constant factor of serial enumeration.
+    larger_rows: u64,
     seq: u32,
     edge: u32,
 }
 
 impl HeapEntry {
     #[inline]
-    fn key(&self) -> (u64, u32, u32) {
-        (self.priority, self.tie_boundary, self.seq)
+    fn key(&self) -> (u32, u64, u32) {
+        (self.frontier, u64::MAX - self.larger_rows, self.seq)
     }
 }
 
@@ -208,13 +235,21 @@ impl MinHeap {
     }
 }
 
+/// One live node of the enumeration graph: the scope it covers and the
+/// matrix of surviving candidate rows for that scope.
 #[derive(Debug)]
-struct Unit {
-    scope: Scope,
-    mat: EnumMatrix,
+pub(crate) struct Unit {
+    pub(crate) scope: Scope,
+    pub(crate) mat: EnumMatrix,
 }
 
 /// The vector-based enumerator with pooled, reusable buffers.
+///
+/// [`Enumerator::enumerate`] is the one-call serial entry point. The
+/// `pub(crate)` phase methods (`begin` / `seed_singletons` /
+/// `contract_edges` / `install_unit` / `finish`) expose the same machinery
+/// piecewise so `crate::parallel` can run one `Enumerator` per plan part
+/// and a final seam-merge pass without duplicating the hot loop.
 #[derive(Debug, Default)]
 pub struct Enumerator {
     pool: Vec<EnumMatrix>,
@@ -224,9 +259,18 @@ pub struct Enumerator {
     fp_map: FootprintTable,
     scratch_feats: Vec<f64>,
     scratch_assign: Vec<u8>,
+    /// Batched merge destination: one left row × every right row, written
+    /// by [`merge_feats_many`] then conversion-patched in place.
+    stage_block: Vec<f64>,
     cost_buf: Vec<f64>,
     boundary: Vec<u32>,
     crossing: Vec<(u32, u32)>,
+    /// Per-block feasibility flags (`feas[ib]` for the current left row ×
+    /// right row `ib`): infeasible combinations are still costed with their
+    /// block — batching beats branching — but never reach the destination.
+    feas: Vec<bool>,
+    /// Reused edge-index list for the serial all-edges path.
+    edge_idx: Vec<u32>,
 }
 
 impl Enumerator {
@@ -258,7 +302,7 @@ impl Enumerator {
 
     /// Detach the live unit rooted at `r` (same invariant as `unit_rows`).
     #[inline]
-    fn take_unit(&mut self, r: u32) -> Unit {
+    pub(crate) fn take_unit(&mut self, r: u32) -> Unit {
         self.units
             .get_mut(r as usize)
             .and_then(Option::take)
@@ -268,7 +312,7 @@ impl Enumerator {
 
     /// Take a pooled matrix, best-fit by the rows it will have to hold, so
     /// warmed pools satisfy every demand without growing.
-    fn take_mat(&mut self, width: usize, n_ops: usize, rows_hint: usize) -> EnumMatrix {
+    pub(crate) fn take_mat(&mut self, width: usize, n_ops: usize, rows_hint: usize) -> EnumMatrix {
         let needed = rows_hint * width;
         let mut m = match self.pool.iter().position(|m| m.feat_capacity() >= needed) {
             Some(i) => self.pool.swap_remove(i),
@@ -296,45 +340,49 @@ impl Enumerator {
         count
     }
 
-    /// Run Algorithm 1. The plan must be sealed and connected; the layout's
-    /// platform dimension must match the registry carried by `opts`, and the
-    /// oracle carried by `opts` must expect the layout's row width.
-    pub fn enumerate(
-        &mut self,
-        plan: &LogicalPlan,
-        layout: &FeatureLayout,
-        opts: EnumOptions<'_>,
-    ) -> (ExecutionPlan, EnumStats) {
-        let n = plan.n_ops();
-        let registry = opts.registry();
-        let oracle = opts.oracle();
-        let k = registry.len();
-        assert!(n >= 1, "empty plan");
-        assert_eq!(
-            k, layout.n_platforms,
-            "feature layout sized for {} platforms but the registry holds {k}",
-            layout.n_platforms
-        );
-        assert_eq!(
-            oracle.width(),
-            layout.width,
-            "cost oracle expects rows of width {} but the layout produces {}",
-            oracle.width(),
-            layout.width
-        );
-        assert!(plan.is_connected(), "enumeration requires a connected plan");
-        let mut stats = EnumStats::default();
+    /// Scope of the live unit rooted at `r` (same invariant as `unit_rows`).
+    #[inline]
+    fn unit_scope(&self, r: u32) -> Scope {
+        match self.units.get(r as usize) {
+            // lint:allow(panic-expect) union-find root always holds a live unit (contracted roots are never re-found)
+            Some(u) => u.as_ref().expect("live unit at union-find root").scope,
+            None => Scope::default(),
+        }
+    }
 
-        // vectorize: one unit per operator, one singleton row per platform
-        // the availability matrix permits for the operator's kind; the rows
-        // of each unit are costed with one batched oracle call.
+    /// Reset per-run state for an `n`-operator plan: no live units yet,
+    /// identity union-find, scratch rows sized to the layout. Phase entry
+    /// point for `crate::parallel`; [`Enumerator::enumerate`] uses it too.
+    pub(crate) fn begin(&mut self, n: usize, layout: &FeatureLayout) {
         self.units.clear();
+        self.units.resize_with(n, || None);
         self.parent.clear();
+        self.parent.extend(0..n as u32);
         self.scratch_feats.clear();
         self.scratch_feats.resize(layout.width, 0.0);
         self.scratch_assign.clear();
         self.scratch_assign.resize(n, NO_PLATFORM);
+    }
+
+    /// vectorize: one unit per operator of `scope`, one singleton row per
+    /// platform the availability matrix permits for the operator's kind;
+    /// each unit's rows are costed with one batched oracle call.
+    pub(crate) fn seed_singletons(
+        &mut self,
+        plan: &LogicalPlan,
+        layout: &FeatureLayout,
+        opts: EnumOptions<'_>,
+        scope: Scope,
+        stats: &mut EnumStats,
+    ) {
+        let registry = opts.registry();
+        let oracle = opts.oracle();
+        let n = plan.n_ops();
+        let k = registry.len();
         for op in 0..n as u32 {
+            if !scope.contains(op) {
+                continue;
+            }
             let kind = plan.op(op).kind;
             let mut mat = self.take_mat(layout.width, n, k);
             let mut feats = std::mem::take(&mut self.scratch_feats);
@@ -359,30 +407,92 @@ impl Enumerator {
             stats.generated += mat.rows() as u64;
             stats.kept += mat.rows() as u64;
             stats.peak_rows = stats.peak_rows.max(mat.rows() as u64);
-            self.units.push(Some(Unit {
+            self.units[op as usize] = Some(Unit {
                 scope: Scope::singleton(op),
                 mat,
-            }));
-            self.parent.push(op);
+            });
         }
+    }
 
-        // Seed the priority queue with every dataflow edge.
+    /// Install a pre-built unit (a finished part's surviving rows), anchored
+    /// at the scope's lowest op id so later [`Enumerator::find`] calls from
+    /// any covered operator land on it.
+    pub(crate) fn install_unit(&mut self, scope: Scope, mat: EnumMatrix) {
+        // lint:allow(panic-expect) installing an empty-scope unit is a caller bug
+        let root = scope.min_op().expect("non-empty unit scope");
+        for op in 0..self.parent.len() as u32 {
+            if scope.contains(op) {
+                self.parent[op as usize] = root;
+            }
+        }
+        self.units[root as usize] = Some(Unit { scope, mat });
+    }
+
+    /// Return a consumed matrix to this enumerator's pool for reuse.
+    #[inline]
+    pub(crate) fn recycle(&mut self, mat: EnumMatrix) {
+        self.pool.push(mat);
+    }
+
+    /// Collect the distinct union-find roots currently covering `scope`
+    /// into `out` (cleared first), in ascending first-discovery order. A
+    /// part whose subgraph is internally disconnected survives as several
+    /// roots; the seam phase exports each as its own unit.
+    pub(crate) fn surviving_roots(&mut self, scope: Scope, out: &mut Vec<u32>) {
+        out.clear();
+        for op in 0..self.parent.len() as u32 {
+            if scope.contains(op) {
+                let r = self.find(op);
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+    }
+
+    /// Contract the listed dataflow edges (indexes into `plan.edges()`) in
+    /// Def-3 priority order: fewest boundary operators of the merged scope
+    /// first (the pruned frontier `k^|boundary|` multiplies every later
+    /// merge, so closing boundaries dominates any one merge's own
+    /// cross-product), ties by extending the larger existing unit (linear
+    /// merge trees stage `k³` where balanced ones stage `k⁴`), then FIFO
+    /// over the original edge index. Lazy staleness handling: an entry whose
+    /// stored key no longer matches current unit state is re-pushed with the
+    /// current value. Every listed edge's endpoints must already be covered
+    /// by live units (seeded singletons or installed part results).
+    pub(crate) fn contract_edges(
+        &mut self,
+        plan: &LogicalPlan,
+        layout: &FeatureLayout,
+        opts: EnumOptions<'_>,
+        edges: &[u32],
+        stats: &mut EnumStats,
+    ) {
+        let registry = opts.registry();
+        let oracle = opts.oracle();
+        let n = plan.n_ops();
+        let k = registry.len();
+
         self.heap.clear();
-        for (e, &(u, v)) in plan.edges().iter().enumerate() {
-            let rows_u = self.unit_rows(u);
-            let rows_v = self.unit_rows(v);
-            let tie = Self::boundary_count(plan, Scope::singleton(u).union(Scope::singleton(v)));
+        for &e in edges {
+            let (u, v) = plan.edges()[e as usize];
+            let ra = self.find(u);
+            let rb = self.find(v);
+            if ra == rb {
+                continue;
+            }
+            let rows_u = self.unit_rows(ra);
+            let rows_v = self.unit_rows(rb);
+            let frontier =
+                Self::boundary_count(plan, self.unit_scope(ra).union(self.unit_scope(rb)));
             self.heap.push(HeapEntry {
-                priority: (rows_u * rows_v) as u64,
-                tie_boundary: tie,
-                seq: e as u32,
-                edge: e as u32,
+                frontier,
+                larger_rows: rows_u.max(rows_v) as u64,
+                seq: e,
+                edge: e,
             });
         }
 
-        // Contract edges in priority order (lazy staleness handling: an
-        // entry whose stored priority no longer matches is re-pushed with
-        // the current value).
         while let Some(entry) = self.heap.pop() {
             let (eu, ev) = plan.edges()[entry.edge as usize];
             let ra = self.find(eu);
@@ -392,10 +502,13 @@ impl Enumerator {
             }
             let rows_a = self.unit_rows(ra);
             let rows_b = self.unit_rows(rb);
-            let current = (rows_a * rows_b) as u64;
-            if current != entry.priority {
+            let frontier =
+                Self::boundary_count(plan, self.unit_scope(ra).union(self.unit_scope(rb)));
+            let larger_rows = rows_a.max(rows_b) as u64;
+            if (frontier, larger_rows) != (entry.frontier, entry.larger_rows) {
                 self.heap.push(HeapEntry {
-                    priority: current,
+                    frontier,
+                    larger_rows,
                     ..entry
                 });
                 continue;
@@ -430,16 +543,34 @@ impl Enumerator {
                 }
             }
 
-            // Stage every feasible combination uncosted, then cost the whole
-            // staged block with one batched oracle call.
-            let mut stage = self.take_mat(layout.width, n, rows_a * rows_b);
-            let mut feats = std::mem::take(&mut self.scratch_feats);
+            // Merge, cost and prune one left row at a time: `merge_feats_many`
+            // fuses one `a` row against all of `b` in a SIMD-width block,
+            // conversion features are patched per combination in place, the
+            // block is costed with one batched oracle call, and every
+            // feasible row is folded straight into the destination unit
+            // (cheapest per Def-2 pruning footprint). The full
+            // `rows_a × rows_b` cross-product is never materialized — the
+            // working set stays one `rows_b`-row block regardless of how
+            // large the merge is, so big seam merges cannot thrash the
+            // matrix pool.
+            let cap = if opts.prune() {
+                (k as u64)
+                    .saturating_pow(self.boundary.len() as u32)
+                    .min((rows_a * rows_b) as u64) as usize
+            } else {
+                rows_a * rows_b
+            };
+            let mut dst = self.take_mat(layout.width, n, cap);
+            let mut block = std::mem::take(&mut self.stage_block);
             let mut assign = std::mem::take(&mut self.scratch_assign);
+            let width = layout.width;
+            self.fp_map.clear();
             for ia in 0..a.mat.rows() {
-                for ib in 0..b.mat.rows() {
-                    merge_feats(&mut feats, a.mat.row(ia), b.mat.row(ib));
+                merge_feats_many(&mut block, a.mat.row(ia), b.mat.rows_view());
+                self.feas.clear();
+                self.feas.resize(b.mat.rows(), true);
+                for (ib, feats) in block.chunks_exact_mut(width).enumerate() {
                     merge_assignments(&mut assign, a.mat.assignments(ia), b.mat.assignments(ib));
-                    let mut feasible = true;
                     for &(u, v) in &self.crossing {
                         let (pu, pv) = (assign[u as usize], assign[v as usize]);
                         if pu != pv
@@ -448,61 +579,46 @@ impl Enumerator {
                                 PlatformId::from_index(pv as usize),
                             )
                         {
-                            feasible = false;
+                            self.feas[ib] = false;
                             break;
                         }
-                        add_conversion_features(plan, layout, u, v, pu, pv, &mut feats);
+                        add_conversion_features(plan, layout, u, v, pu, pv, feats);
                     }
-                    if feasible {
-                        stage.push_row(&feats, &assign, 0.0);
+                }
+                oracle.cost_batch(RowsView::new(&block, width), &mut self.cost_buf);
+                for ib in 0..b.mat.rows() {
+                    if !self.feas[ib] {
+                        continue;
+                    }
+                    let cost = self.cost_buf[ib];
+                    let feats = &block[ib * width..(ib + 1) * width];
+                    merge_assignments(&mut assign, a.mat.assignments(ia), b.mat.assignments(ib));
+                    if opts.prune() {
+                        let fp = footprint_hash(&self.boundary, &assign);
+                        match self.fp_map.get(fp) {
+                            Some(row) => {
+                                if cost < dst.cost(row as usize) {
+                                    dst.overwrite_row(row as usize, feats, &assign, cost);
+                                }
+                            }
+                            None => {
+                                let row = dst.push_row(feats, &assign, cost);
+                                self.fp_map.insert(fp, row as u32);
+                            }
+                        }
+                    } else {
+                        dst.push_row(feats, &assign, cost);
                     }
                 }
             }
-            self.scratch_feats = feats;
+            self.stage_block = block;
             self.scratch_assign = assign;
             stats.generated += (rows_a * rows_b) as u64;
             assert!(
-                stage.rows() > 0,
+                dst.rows() > 0,
                 "no feasible platform combination for a merged scope — \
                  the registry's conversion graph disconnects these operators"
             );
-            oracle.cost_batch(stage.rows_view(), &mut self.cost_buf);
-
-            // Prune the staged rows into the destination unit: keep the
-            // cheapest row per Def-2 pruning footprint.
-            let cap = if opts.prune() {
-                (k as u64)
-                    .saturating_pow(self.boundary.len() as u32)
-                    .min(stage.rows() as u64) as usize
-            } else {
-                stage.rows()
-            };
-            let mut dst = self.take_mat(layout.width, n, cap);
-            self.fp_map.clear();
-            for r in 0..stage.rows() {
-                let cost = self.cost_buf[r];
-                if opts.prune() {
-                    let fp = footprint_hash(&self.boundary, stage.assignments(r));
-                    match self.fp_map.get(fp) {
-                        Some(row) => {
-                            if cost < dst.cost(row as usize) {
-                                dst.overwrite_row(
-                                    row as usize,
-                                    stage.row(r),
-                                    stage.assignments(r),
-                                    cost,
-                                );
-                            }
-                        }
-                        None => {
-                            let row = dst.push_row(stage.row(r), stage.assignments(r), cost);
-                            self.fp_map.insert(fp, row as u32);
-                        }
-                    }
-                } else {
-                    dst.push_row(stage.row(r), stage.assignments(r), cost);
-                }
-            }
 
             stats.merges += 1;
             stats.kept += dst.rows() as u64;
@@ -512,22 +628,82 @@ impl Enumerator {
             self.parent[rb as usize] = ra;
             self.pool.push(a.mat);
             self.pool.push(b.mat);
-            self.pool.push(stage);
             self.units[ra as usize] = Some(Unit {
                 scope: merged_scope,
                 mat: dst,
             });
         }
+    }
 
-        // unvectorize: the surviving unit's cheapest row.
+    /// unvectorize: detach the single surviving unit (it must cover the
+    /// whole plan), take its cheapest row, and re-cost that assignment
+    /// **canonically** — one whole-plan `vectorize_assignment` encode plus
+    /// one `cost_row` call. Selection uses the merge-tree costs, but the
+    /// *reported* cost is a pure function of (plan, assignment, oracle),
+    /// independent of the order floating-point additions happened in — so
+    /// serial and split-parallel enumeration agree on cost bits.
+    pub(crate) fn finish(
+        &mut self,
+        plan: &LogicalPlan,
+        layout: &FeatureLayout,
+        opts: EnumOptions<'_>,
+    ) -> ExecutionPlan {
+        let n = plan.n_ops();
         let root = self.find(0);
         let unit = self.take_unit(root);
-        debug_assert_eq!(unit.scope.len() as usize, n);
+        assert_eq!(
+            unit.scope.len() as usize,
+            n,
+            "enumeration finished without covering the whole plan"
+        );
         // lint:allow(panic-expect) every singleton pushes >= 1 row and every merge asserts a feasible row, so the final unit is non-empty
         let best = unit.mat.min_cost_row().expect("non-empty enumeration");
-        let result = ExecutionPlan::from_raw(unit.mat.assignments(best), unit.mat.cost(best));
+        let mut feats = std::mem::take(&mut self.scratch_feats);
+        vectorize_assignment(plan, layout, unit.mat.assignments(best), &mut feats);
+        let cost = opts.oracle().cost_row(&feats);
+        self.scratch_feats = feats;
+        let result = ExecutionPlan::from_raw(unit.mat.assignments(best), cost);
         self.pool.push(unit.mat);
-        (result, stats)
+        result
+    }
+
+    /// Run Algorithm 1. The plan must be sealed and connected; the layout's
+    /// platform dimension must match the registry carried by `opts`, and the
+    /// oracle carried by `opts` must expect the layout's row width.
+    pub fn enumerate(
+        &mut self,
+        plan: &LogicalPlan,
+        layout: &FeatureLayout,
+        opts: EnumOptions<'_>,
+    ) -> (ExecutionPlan, EnumStats) {
+        let n = plan.n_ops();
+        let registry = opts.registry();
+        let oracle = opts.oracle();
+        let k = registry.len();
+        assert!(n >= 1, "empty plan");
+        assert_eq!(
+            k, layout.n_platforms,
+            "feature layout sized for {} platforms but the registry holds {k}",
+            layout.n_platforms
+        );
+        assert_eq!(
+            oracle.width(),
+            layout.width,
+            "cost oracle expects rows of width {} but the layout produces {}",
+            oracle.width(),
+            layout.width
+        );
+        assert!(plan.is_connected(), "enumeration requires a connected plan");
+        let mut stats = EnumStats::default();
+
+        self.begin(n, layout);
+        self.seed_singletons(plan, layout, opts, Scope::full(n), &mut stats);
+        let mut edges = std::mem::take(&mut self.edge_idx);
+        edges.clear();
+        edges.extend(0..plan.edges().len() as u32);
+        self.contract_edges(plan, layout, opts, &edges, &mut stats);
+        self.edge_idx = edges;
+        (self.finish(plan, layout, opts), stats)
     }
 }
 

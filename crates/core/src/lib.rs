@@ -11,15 +11,25 @@
 //!   [`robopt_vector::EnumMatrix`] units with lossless boundary pruning
 //!   (Def. 2), availability masking and conversion-feasibility exclusion
 //!   from the [`robopt_platforms::PlatformRegistry`] carried by
-//!   [`enumerate::EnumOptions`], and enumeration statistics.
+//!   [`enumerate::EnumOptions`], and enumeration statistics;
+//! * [`split`] — deterministic low-connectivity plan partitioning (the
+//!   paper's `split`): minimum-crossing-edge cut boundaries over the
+//!   topological order, never through a `RepeatLoop` region;
+//! * [`parallel`] — the split-enumerate-merge driver running one
+//!   enumerator per part on scoped std threads, bit-identical across
+//!   thread counts (DESIGN §9).
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
 pub mod enumerate;
 pub mod oracle;
+pub mod parallel;
+pub mod split;
 pub mod vectorize;
 
 pub use enumerate::{EnumOptions, EnumStats, Enumerator};
 pub use oracle::{uniform_oracle, AnalyticOracle, CostOracle};
+pub use parallel::ParallelEnumerator;
+pub use split::{loop_regions, split_plan, PlanSplit, SplitOptions};
 pub use vectorize::ExecutionPlan;

@@ -5,7 +5,7 @@
 //! "§ Static invariants"):
 //!
 //! * **Determinism** (Lemma 1, bit-identical seeded training):
-//!   `hash-container`, `wall-clock`.
+//!   `hash-container`, `wall-clock`, `thread-spawn-join`.
 //! * **Panic-freedom** (library code must degrade, not abort):
 //!   `panic-unwrap`, `panic-expect`, `panic-macro`, `index-literal`.
 //! * **Oracle / platform contracts** (estimator API): `oracle-width`,
@@ -40,6 +40,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "wall-clock",
         guards: "determinism: wall-clock/thread-identity values vary across runs",
+    },
+    RuleInfo {
+        id: "thread-spawn-join",
+        guards: "determinism: detached threads outlive their scope; every thread::spawn must be joined in the same scope",
     },
     RuleInfo {
         id: "panic-unwrap",
@@ -278,9 +282,72 @@ fn check_source(file: &SourceFile, out: &mut LintOutcome) {
 
     check_cost_oracle_impls(file, out);
     check_cost_batch_bodies(file, out);
+    check_thread_spawns(file, out);
     if file.class != CrateClass::Exempt && file.crate_name != "platforms" {
         check_platform_params(file, out);
     }
+}
+
+/// `thread::spawn` in library code must be `.join()`ed in the same lexical
+/// scope — a detached thread outlives the call that spawned it, racing
+/// whatever seeded state comes next. `std::thread::scope` (the workspace's
+/// parallelism idiom) joins implicitly and never contains the
+/// `thread::spawn` token, so it passes untouched.
+fn check_thread_spawns(file: &SourceFile, out: &mut LintOutcome) {
+    if file.class == CrateClass::Exempt || file.is_binary {
+        return;
+    }
+    for li in 0..file.lines.len() {
+        let line = match file.lines.get(li) {
+            Some(l) => l,
+            None => continue,
+        };
+        let in_test = file.test_mask.get(li).copied().unwrap_or(false);
+        if in_test {
+            continue;
+        }
+        let Some(at) = line.code.find("thread::spawn") else {
+            continue;
+        };
+        if !joined_in_scope(&file.lines, li, at) {
+            emit(
+                file,
+                li,
+                "thread-spawn-join",
+                "thread::spawn without a .join() in the same scope: detached threads \
+                 break deterministic seeded runs; join the handle, or use \
+                 std::thread::scope which joins structurally"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// Forward scan from the spawn site: does `.join(` appear before the
+/// enclosing scope closes (brace depth dropping below the spawn's level)?
+fn joined_in_scope(lines: &[LineScan], li: usize, col: usize) -> bool {
+    let mut depth: i32 = 0;
+    for (i, l) in lines.iter().enumerate().skip(li) {
+        let start = if i == li { col } else { 0 };
+        let code = l.code.get(start..).unwrap_or("");
+        for (at, c) in code.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                '.' if code.get(at..).is_some_and(|s| s.starts_with(".join(")) => {
+                    return true;
+                }
+                _ => {}
+            }
+        }
+    }
+    false
 }
 
 /// `foo[3]`-style indexing: `[` preceded by an identifier character, `)` or
@@ -684,6 +751,49 @@ mod tests {
             "pub const W: [f64; 3] = [1.0, 2.0, 3.0];\n"
         ))
         .is_empty());
+    }
+
+    // -- thread-spawn-join ----------------------------------------------
+
+    #[test]
+    fn detached_thread_spawn_is_flagged() {
+        let src = "pub fn f() {\n    std::thread::spawn(|| {});\n}\n";
+        assert_eq!(rule_hits(&lint("ml", src)), vec!["thread-spawn-join"]);
+        // Returning the handle escapes the scope: still a violation here
+        // (the caller may drop it); justify deliberate detachment.
+        let escaped =
+            "pub fn f() -> std::thread::JoinHandle<()> {\n    std::thread::spawn(|| {})\n}\n";
+        assert_eq!(rule_hits(&lint("ml", escaped)), vec!["thread-spawn-join"]);
+    }
+
+    #[test]
+    fn joined_thread_spawn_passes() {
+        let src =
+            "pub fn f() {\n    let h = std::thread::spawn(|| {});\n    let _ = h.join();\n}\n";
+        assert!(rule_hits(&lint("ml", src)).is_empty());
+        // Join may happen in a nested block of the same scope.
+        let nested =
+            "pub fn f() {\n    let h = std::thread::spawn(|| {});\n    { let _ = h.join(); }\n}\n";
+        assert!(rule_hits(&lint("ml", nested)).is_empty());
+    }
+
+    #[test]
+    fn scoped_threads_pass_and_strings_do_not_fire() {
+        let src =
+            "pub fn f() {\n    std::thread::scope(|s| {\n        s.spawn(|| {});\n    });\n}\n";
+        assert!(rule_hits(&lint("ml", src)).is_empty());
+        let s = "pub fn f() -> &'static str { \"thread::spawn\" }\n";
+        assert!(rule_hits(&lint("ml", s)).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_join_respects_allow_and_exemptions() {
+        let allowed = "// lint:allow(thread-spawn-join) fire-and-forget logger, joined at shutdown\npub fn f() { std::thread::spawn(|| {}); }\n";
+        let out = lint("ml", allowed);
+        assert!(out.violations.is_empty());
+        assert_eq!(out.allowed.len(), 1);
+        let src = "pub fn f() { std::thread::spawn(|| {}); }\n";
+        assert!(rule_hits(&lint("bench", src)).is_empty());
     }
 
     // -- contract rules -------------------------------------------------

@@ -89,7 +89,10 @@ impl<M: Model> ModelOracle<M> {
     }
 }
 
-impl<M: Model> CostOracle for ModelOracle<M> {
+// `CostOracle: Sync` (the parallel enumerator shares one oracle across its
+// workers), so the wrapped model must be `Sync` too. Every in-tree model
+// is: fitted state is immutable weight/tree tables.
+impl<M: Model + Sync> CostOracle for ModelOracle<M> {
     fn width(&self) -> usize {
         self.model.width()
     }

@@ -74,7 +74,11 @@ impl LogicalPlan {
         self.sealed = true;
     }
 
-    fn topo_order(&self) -> Vec<u32> {
+    /// Deterministic Kahn topological order (FIFO, ready operators queued
+    /// in ascending id order): the order `seal` propagates cardinalities
+    /// in, and the frontier coordinate system the plan splitter
+    /// (`robopt_core::split`) cuts over. Panics on cycles.
+    pub fn topo_order(&self) -> Vec<u32> {
         let n = self.ops.len();
         let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
         let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();

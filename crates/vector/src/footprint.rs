@@ -28,6 +28,28 @@ impl Scope {
         Scope(self.0 | other.0)
     }
 
+    /// The scope containing every operator of an `n`-operator plan.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        debug_assert!(n <= 128, "scope bitsets hold at most 128 operators");
+        if n >= 128 {
+            Scope(u128::MAX)
+        } else {
+            Scope((1u128 << n) - 1)
+        }
+    }
+
+    /// Lowest operator id in the scope — the canonical union-find root the
+    /// enumerator anchors a pre-built unit at. `None` for the empty scope.
+    #[inline]
+    pub fn min_op(self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros())
+        }
+    }
+
     #[inline]
     pub fn len(self) -> u32 {
         self.0.count_ones()
@@ -270,5 +292,20 @@ mod tests {
         t.insert(5, 1);
         assert_eq!(t.get(5), Some(1));
         assert_eq!(t.iter().collect::<Vec<_>>(), vec![(5, 1)]);
+    }
+
+    #[test]
+    fn scope_full_and_min_op() {
+        assert_eq!(Scope::full(0), Scope::default());
+        assert_eq!(Scope::full(3).len(), 3);
+        assert_eq!(Scope::full(128).len(), 128);
+        assert!(Scope::full(5).contains(4));
+        assert!(!Scope::full(5).contains(5));
+        assert_eq!(Scope::default().min_op(), None);
+        assert_eq!(Scope::singleton(7).min_op(), Some(7));
+        assert_eq!(
+            Scope::singleton(9).union(Scope::singleton(2)).min_op(),
+            Some(2)
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! Single test in its own binary: `robopt_vector::alloc_events` is a
 //! process-global counter, so it must not race with unrelated tests.
 
-use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
+use robopt_core::{AnalyticOracle, EnumOptions, Enumerator, ParallelEnumerator, SplitOptions};
 use robopt_plan::{workloads, N_OPERATOR_KINDS};
 use robopt_platforms::PlatformRegistry;
 use robopt_vector::FeatureLayout;
@@ -46,6 +46,45 @@ fn warmed_enumerator_performs_no_matrix_allocation() {
          per-subplan allocation has crept back in"
     );
     assert_eq!(cold.cost, warm_cost, "reused buffers changed the optimum");
+
+    // Split-parallel path: each part enumerator and the seam merger own
+    // their own pools, so the guarantee extends across threads — after
+    // warm-up, a parallel run grows nothing either. Clamp off so worker
+    // threads really run even on a single-core host (the counter is a
+    // process-global relaxed atomic; any cross-thread growth would show).
+    let mut parallel = ParallelEnumerator::new(2)
+        .with_split(SplitOptions::new(4))
+        .with_hardware_clamp(false);
+    let (par_cold, _) = parallel.enumerate(&plan, &layout, opts);
+    for warmup in 0.. {
+        assert!(warmup < 32, "parallel pool capacities failed to stabilize");
+        let before = robopt_vector::alloc_events();
+        parallel.enumerate(&plan, &layout, opts);
+        if robopt_vector::alloc_events() == before {
+            break;
+        }
+    }
+    let before = robopt_vector::alloc_events();
+    let mut par_warm = 0.0;
+    for _ in 0..5 {
+        let (exec, stats) = parallel.enumerate(&plan, &layout, opts);
+        par_warm = exec.cost;
+        assert!(stats.generated > 0);
+    }
+    let grown = robopt_vector::alloc_events() - before;
+    assert_eq!(
+        grown, 0,
+        "parallel hot path grew EnumMatrix buffers {grown} times after warm-up"
+    );
+    assert_eq!(
+        par_cold.cost, par_warm,
+        "reused parallel buffers changed the optimum"
+    );
+    assert_eq!(
+        par_warm.to_bits(),
+        warm_cost.to_bits(),
+        "split-parallel and serial disagree on the canonical cost"
+    );
 
     // Sanity: the counter does observe genuine growth.
     let mut m = robopt_vector::EnumMatrix::new();

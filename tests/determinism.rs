@@ -13,7 +13,7 @@
 use std::process::Command;
 
 use robopt_baselines::ObjectEnumerator;
-use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
+use robopt_core::{AnalyticOracle, EnumOptions, Enumerator, ParallelEnumerator, SplitOptions};
 use robopt_ml::{simulator_training_set, ForestConfig, RandomForest, SamplerConfig};
 use robopt_plan::{workloads, SplitMix64, N_OPERATOR_KINDS};
 use robopt_platforms::PlatformRegistry;
@@ -33,6 +33,12 @@ fn seeded_run_digest() -> u64 {
     let mut rng = SplitMix64::new(0xDE7E_4213);
     let mut vector_enum = Enumerator::new();
     let mut object_enum = ObjectEnumerator::new();
+    // Clamp off so the digest covers real scoped-thread scheduling even on
+    // a single-core host — the split contract says results are
+    // thread-count-independent, so the digest must be too.
+    let mut parallel_enum = ParallelEnumerator::new(2)
+        .with_split(SplitOptions::new(3))
+        .with_hardware_clamp(false);
     for _ in 0..12 {
         let n = 3 + rng.gen_range(6); // 3..=8 operators
         let k = 2 + rng.gen_range(3); // 2..=4 platforms
@@ -57,6 +63,18 @@ fn seeded_run_digest() -> u64 {
         for &p in &object.raw_assignments() {
             mix(&mut h, p as u64);
         }
+
+        // Split-parallel enumeration: same plan, threaded part phase. The
+        // chosen assignment and canonical cost must match serial bit-for-bit
+        // (asserted here, digested below together with the split stats).
+        let (par, par_stats) = parallel_enum.enumerate(&plan, &layout, opts);
+        assert_eq!(par.assignments, best.assignments, "parallel vs serial");
+        assert_eq!(par.cost.to_bits(), best.cost.to_bits());
+        mix(&mut h, par.cost.to_bits());
+        mix(&mut h, par_stats.generated);
+        mix(&mut h, par_stats.kept);
+        mix(&mut h, par_stats.merges);
+        mix(&mut h, par_stats.peak_rows);
     }
 
     // Seeded forest training (thread-parallel bagging) + inference.
