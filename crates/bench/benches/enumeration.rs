@@ -3,13 +3,13 @@
 //!
 //! Run with `cargo bench -p robopt-bench --bench enumeration`.
 
+use robopt::Optimizer;
 use robopt_baselines::ObjectEnumerator;
 use robopt_bench::bench;
-use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
-use robopt_plan::{workloads, N_OPERATOR_KINDS};
+use robopt_core::Enumerator;
+use robopt_plan::workloads;
 use robopt_platforms::PlatformRegistry;
 use robopt_vector::merge::merge_feats;
-use robopt_vector::FeatureLayout;
 
 fn report(name: &str, t: robopt_bench::Timing) {
     println!(
@@ -20,10 +20,11 @@ fn report(name: &str, t: robopt_bench::Timing) {
 
 fn main() {
     // cargo passes flags like `--bench`; the harness has no options to parse.
-    let registry = PlatformRegistry::uniform(2);
-    let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
-    let oracle = AnalyticOracle::for_registry(&registry, &layout);
-    let opts = EnumOptions::new(&registry).with_oracle(&oracle);
+    // The facade owns registry + oracle; its raw options feed the two
+    // enumerators directly (this bench times kernels, not the service).
+    let facade = Optimizer::new(PlatformRegistry::uniform(2));
+    let layout = *facade.layout();
+    let opts = facade.enum_options();
 
     // Raw merge kernel: one fused add over a row pair.
     let a = vec![1.5f64; layout.width];

@@ -4,18 +4,20 @@
 //! Both enumerators run the same algorithm (Def-3 priority, Def-2 lossless
 //! pruning) against the same analytic [`robopt_core::CostOracle`]; only the
 //! subplan representation differs, so the measured gap isolates the
-//! vectorization benefit. Writes `EXPERIMENTS_OUTPUT/fig01_vector_benefit.txt`
+//! vectorization benefit. The vector side goes through the
+//! [`robopt::Optimizer`] facade (cache disabled, one split part — the
+//! serial path); the object-graph foil predates the request API and takes
+//! its raw options from [`robopt::Optimizer::enum_options`], the sanctioned
+//! escape hatch. Writes `EXPERIMENTS_OUTPUT/fig01_vector_benefit.txt`
 //! and `BENCH_enumeration.json` at the repository root.
 
 use std::fmt::Write as _;
 use std::fs;
 
+use robopt::{ExecutionPolicy, OptimizeRequest, Optimizer, WorkloadSpec};
 use robopt_baselines::ObjectEnumerator;
 use robopt_bench::{bench, repo_root};
-use robopt_core::{AnalyticOracle, EnumOptions, Enumerator};
-use robopt_plan::{workloads, LogicalPlan, N_OPERATOR_KINDS};
 use robopt_platforms::PlatformRegistry;
-use robopt_vector::FeatureLayout;
 
 const PLATFORMS: usize = 2;
 const WARMUP: usize = 20;
@@ -26,8 +28,10 @@ struct Row {
     ops: usize,
     vector_ms: f64,
     vector_p95_ms: f64,
+    vector_per_s: f64,
     object_ms: f64,
     object_p95_ms: f64,
+    object_per_s: f64,
 }
 
 impl Row {
@@ -36,23 +40,30 @@ impl Row {
     }
 }
 
-fn measure(task: &'static str, plan: &LogicalPlan) -> Row {
-    let registry = PlatformRegistry::uniform(PLATFORMS);
-    let layout = FeatureLayout::new(PLATFORMS, N_OPERATOR_KINDS);
-    let oracle = AnalyticOracle::for_registry(&registry, &layout);
-    let opts = EnumOptions::new(&registry).with_oracle(&oracle);
+fn measure(task: &'static str, spec: WorkloadSpec) -> Row {
+    let mut opt = Optimizer::new(PlatformRegistry::uniform(PLATFORMS));
+    // Timing a memoized replay would measure the cache, not enumeration.
+    opt.set_cache_enabled(false);
+    let req = OptimizeRequest::new(spec).with_policy(
+        ExecutionPolicy::default()
+            .with_workers(1)
+            .with_split_parts(1),
+    );
 
-    let mut vector_enum = Enumerator::new();
-    let vector_cost = vector_enum.enumerate(plan, &layout, opts).0.cost;
+    let cold = opt.optimize(&req).expect("vector optimize");
+    let (vector_cost, ops) = (cold.cost, cold.assignments.len());
     let vector_t = bench(WARMUP, ITERS, || {
-        let (exec, _) = vector_enum.enumerate(plan, &layout, opts);
-        std::hint::black_box(exec.cost);
+        let resp = opt.optimize(&req).expect("vector optimize");
+        std::hint::black_box(resp.cost);
     });
 
+    let plan = spec.build().expect("workload spec builds");
     let mut object_enum = ObjectEnumerator::new();
-    let object_cost = object_enum.enumerate(plan, &layout, opts).cost;
+    let object_cost = object_enum
+        .enumerate(&plan, opt.layout(), opt.enum_options())
+        .cost;
     let object_t = bench(WARMUP, ITERS, || {
-        let exec = object_enum.enumerate(plan, &layout, opts);
+        let exec = object_enum.enumerate(&plan, opt.layout(), opt.enum_options());
         std::hint::black_box(exec.cost);
     });
 
@@ -65,25 +76,33 @@ fn measure(task: &'static str, plan: &LogicalPlan) -> Row {
 
     Row {
         task,
-        ops: plan.n_ops(),
+        ops,
         vector_ms: vector_t.median_ms(),
         vector_p95_ms: vector_t.p95_ms(),
+        vector_per_s: vector_t.per_second(1),
         object_ms: object_t.median_ms(),
         object_p95_ms: object_t.p95_ms(),
+        object_per_s: object_t.per_second(1),
     }
 }
 
 fn main() {
     let rows = vec![
-        measure("WordCount (6 op.)", &workloads::wordcount(1e5)),
-        measure("TPC-H Q3 (17 op.)", &workloads::tpch_q3(1e5)),
+        measure("WordCount (6 op.)", WorkloadSpec::WordCount { scale: 1e5 }),
+        measure("TPC-H Q3 (17 op.)", WorkloadSpec::TpchQ3 { scale: 1e5 }),
         measure(
             "Synthetic (25 op.)",
-            &workloads::synthetic_pipeline(25, 1e5),
+            WorkloadSpec::Pipeline {
+                ops: 25,
+                scale: 1e5,
+            },
         ),
         measure(
             "Synthetic (40 op.)",
-            &workloads::synthetic_pipeline(40, 1e5),
+            WorkloadSpec::Pipeline {
+                ops: 40,
+                scale: 1e5,
+            },
         ),
     ];
 
@@ -157,13 +176,16 @@ fn main() {
         let _ = write!(
             json,
             "    {{\"task\": \"{}\", \"ops\": {}, \"vector_ms\": {:.6}, \"vector_p95_ms\": {:.6}, \
-             \"object_ms\": {:.6}, \"object_p95_ms\": {:.6}, \"improvement\": {:.3}}}",
+             \"vector_per_s\": {:.3}, \"object_ms\": {:.6}, \"object_p95_ms\": {:.6}, \
+             \"object_per_s\": {:.3}, \"improvement\": {:.3}}}",
             r.task,
             r.ops,
             r.vector_ms,
             r.vector_p95_ms,
+            r.vector_per_s,
             r.object_ms,
             r.object_p95_ms,
+            r.object_per_s,
             r.improvement()
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });

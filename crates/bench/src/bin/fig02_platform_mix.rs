@@ -1,146 +1,80 @@
 //! Fig 2: genuine cross-platform plans over the named five-platform
 //! registry (Java streams, Spark, Flink, Postgres, Giraph).
 //!
-//! For each workload the vector enumerator runs over
-//! [`PlatformRegistry::named`] — availability masking keeps operators off
-//! platforms that cannot execute them, and the registry's conversion graph
-//! (COT) prices every platform switch. The resulting optimum is compared
-//! against every *feasible* single-platform plan; the headline check is
-//! that on at least one workload the mixed plan strictly beats them all
-//! (the paper's core cross-platform claim). The deterministic runtime
-//! simulator reports the corresponding simulated wall-clock per plan.
+//! Each workload goes through [`robopt::Optimizer::compare`] — the Fig-2
+//! experiment as a service verb: optimize over [`robopt_platforms::PlatformRegistry::named`]
+//! (availability masking keeps operators off platforms that cannot execute
+//! them, the conversion graph prices every switch), then pit the mixed
+//! winner against every *feasible* single-platform plan under oracle cost
+//! and the deterministic runtime simulator. The headline check is that on
+//! at least one workload the mixed plan strictly beats them all (the
+//! paper's core cross-platform claim).
 //! Writes `EXPERIMENTS_OUTPUT/fig02_platform_mix.txt` and
 //! `BENCH_platform_mix.json` at the repository root.
 
 use std::fmt::Write as _;
 use std::fs;
 
+use robopt::{CompareRequest, CompareResponse, ExecutionPolicy, Optimizer, WorkloadSpec};
 use robopt_bench::repo_root;
-use robopt_core::vectorize::vectorize_assignment;
-use robopt_core::{AnalyticOracle, CostOracle, EnumOptions, Enumerator, ExecutionPlan};
-use robopt_plan::{workloads, LogicalPlan, N_OPERATOR_KINDS};
-use robopt_platforms::{PlatformId, PlatformRegistry, RuntimeSimulator};
-use robopt_vector::FeatureLayout;
 
 const SIM_SEED: u64 = 42;
 
-struct SinglePlan {
-    name: String,
-    /// Oracle cost of the all-on-this-platform plan, `None` when the
-    /// availability matrix makes the platform infeasible for the workload.
-    cost: Option<f64>,
-    sim_s: Option<f64>,
-}
-
 struct Row {
     task: &'static str,
-    ops: usize,
-    mixed: ExecutionPlan,
-    mix_desc: String,
-    mixed_sim_s: f64,
-    singles: Vec<SinglePlan>,
+    cmp: CompareResponse,
 }
 
 impl Row {
-    fn best_single(&self) -> Option<f64> {
-        self.singles
-            .iter()
-            .filter_map(|s| s.cost)
-            .min_by(f64::total_cmp)
+    fn ops(&self) -> usize {
+        self.cmp.mixed.assignments.len()
     }
 
     fn beats_every_single(&self) -> bool {
-        self.mixed.distinct_platforms() >= 2
+        self.cmp.mixed.distinct_platforms >= 2
             && self
-                .best_single()
-                .is_some_and(|best| self.mixed.cost < best * (1.0 - 1e-9))
+                .cmp
+                .best_single_cost
+                .is_some_and(|best| self.cmp.mixed.cost < best * (1.0 - 1e-9))
     }
 }
 
-/// Render the mixed assignment as `name:count` pairs in registry order.
-fn describe_mix(registry: &PlatformRegistry, exec: &ExecutionPlan) -> String {
-    let mut counts = vec![0usize; registry.len()];
-    for &p in &exec.assignments {
-        counts[p.index()] += 1;
-    }
-    let mut s = String::new();
-    for id in registry.ids() {
-        if counts[id.index()] > 0 {
-            if !s.is_empty() {
-                s.push(' ');
-            }
-            let _ = write!(s, "{}:{}", registry.platform(id).name, counts[id.index()]);
-        }
-    }
-    s
-}
-
-fn measure(task: &'static str, plan: &LogicalPlan, registry: &PlatformRegistry) -> Row {
-    let layout = FeatureLayout::new(registry.len(), N_OPERATOR_KINDS);
-    let oracle = AnalyticOracle::for_registry(registry, &layout);
-    let sim = RuntimeSimulator::new(registry, SIM_SEED);
-
-    let (mixed, _) = Enumerator::new().enumerate(
-        plan,
-        &layout,
-        EnumOptions::new(registry).with_oracle(&oracle),
-    );
-    let mixed_sim_s = sim.simulate(plan, &mixed.assignments);
-
-    let mut feats = Vec::new();
-    let singles = registry
-        .ids()
-        .map(|id| {
-            let feasible =
-                (0..plan.n_ops() as u32).all(|op| registry.is_available(plan.op(op).kind, id));
-            let (cost, sim_s) = if feasible {
-                let assign = vec![id.raw(); plan.n_ops()];
-                vectorize_assignment(plan, &layout, &assign, &mut feats);
-                let uniform: Vec<PlatformId> = vec![id; plan.n_ops()];
-                (
-                    Some(oracle.cost_row(&feats)),
-                    Some(sim.simulate(plan, &uniform)),
-                )
-            } else {
-                (None, None)
-            };
-            SinglePlan {
-                name: registry.platform(id).name.clone(),
-                cost,
-                sim_s,
-            }
+fn measure(opt: &mut Optimizer, task: &'static str, workload: WorkloadSpec) -> Row {
+    let cmp = opt
+        .compare(&CompareRequest {
+            workload,
+            policy: ExecutionPolicy::default(),
+            sim_seed: SIM_SEED,
         })
-        .collect();
-
-    let mix_desc = describe_mix(registry, &mixed);
-    Row {
-        task,
-        ops: plan.n_ops(),
-        mixed,
-        mix_desc,
-        mixed_sim_s,
-        singles,
-    }
+        .expect("compare request");
+    Row { task, cmp }
 }
 
 fn main() {
-    let registry = PlatformRegistry::named();
+    let mut opt = Optimizer::named();
     let rows = vec![
         measure(
+            &mut opt,
             "WordCount small (1e5)",
-            &workloads::wordcount(1e5),
-            &registry,
+            WorkloadSpec::WordCount { scale: 1e5 },
         ),
         measure(
+            &mut opt,
             "WordCount large (1e7)",
-            &workloads::wordcount(1e7),
-            &registry,
+            WorkloadSpec::WordCount { scale: 1e7 },
         ),
-        measure("TPC-H Q3 (1e6)", &workloads::tpch_q3(1e6), &registry),
         measure(
+            &mut opt,
+            "TPC-H Q3 (1e6)",
+            WorkloadSpec::TpchQ3 { scale: 1e6 },
+        ),
+        measure(
+            &mut opt,
             "Synthetic (25 op., 1e6)",
-            &workloads::synthetic_pipeline(25, 1e6),
-            &registry,
+            WorkloadSpec::Pipeline {
+                ops: 25,
+                scale: 1e6,
+            },
         ),
     ];
 
@@ -148,7 +82,7 @@ fn main() {
     let _ = writeln!(
         report,
         "Fig 2: cross-platform plans over the named registry ({} platforms)",
-        registry.len()
+        opt.registry().len()
     );
     for r in &rows {
         let _ = writeln!(report);
@@ -156,22 +90,22 @@ fn main() {
             report,
             "{} [{} operators]  optimum: cost {:.3}, {} platform(s) ({}), simulated {:.2}s",
             r.task,
-            r.ops,
-            r.mixed.cost,
-            r.mixed.distinct_platforms(),
-            r.mix_desc,
-            r.mixed_sim_s,
+            r.ops(),
+            r.cmp.mixed.cost,
+            r.cmp.mixed.distinct_platforms,
+            r.cmp.mix,
+            r.cmp.mixed_sim_seconds,
         );
-        for s in &r.singles {
-            match (s.cost, s.sim_s) {
+        for s in &r.cmp.singles {
+            match (s.cost, s.sim_seconds) {
                 (Some(c), Some(t)) => {
                     let _ = writeln!(
                         report,
                         "  all-{:<9} cost {:>12.3}  simulated {:>10.2}s{}",
-                        s.name,
+                        s.platform,
                         c,
                         t,
-                        if r.mixed.cost < c * (1.0 - 1e-9) {
+                        if r.cmp.mixed.cost < c * (1.0 - 1e-9) {
                             "  (mixed wins)"
                         } else {
                             ""
@@ -182,7 +116,7 @@ fn main() {
                     let _ = writeln!(
                         report,
                         "  all-{:<9} infeasible (availability matrix)",
-                        s.name
+                        s.platform
                     );
                 }
             }
@@ -200,20 +134,21 @@ fn main() {
         rows.len()
     );
     for r in &winners {
-        let best = r.best_single().unwrap();
+        let best = r.cmp.best_single_cost.unwrap();
         let _ = writeln!(
             report,
             "  {}: mixed {:.3} vs best single {:.3} ({:.1}% cheaper, mix {})",
             r.task,
-            r.mixed.cost,
+            r.cmp.mixed.cost,
             best,
-            100.0 * (1.0 - r.mixed.cost / best),
-            r.mix_desc
+            100.0 * (1.0 - r.cmp.mixed.cost / best),
+            r.cmp.mix
         );
     }
     let sane = rows.iter().all(|r| {
-        r.best_single()
-            .is_none_or(|best| r.mixed.cost <= best * (1.0 + 1e-9))
+        r.cmp
+            .best_single_cost
+            .is_none_or(|best| r.cmp.mixed.cost <= best * (1.0 + 1e-9))
     });
     let _ = writeln!(
         report,
@@ -232,7 +167,7 @@ fn main() {
 
     // Hand-rendered JSON (offline environment: no serde_json).
     let mut json = String::from("{\n  \"experiment\": \"fig02_platform_mix\",\n");
-    let _ = writeln!(json, "  \"platforms\": {},", registry.len());
+    let _ = writeln!(json, "  \"platforms\": {},", opt.registry().len());
     let _ = writeln!(json, "  \"sim_seed\": {SIM_SEED},");
     json.push_str("  \"entries\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -241,22 +176,22 @@ fn main() {
             "    {{\"task\": \"{}\", \"ops\": {}, \"mixed_cost\": {:.6}, \
              \"distinct_platforms\": {}, \"mix\": \"{}\", \"mixed_sim_s\": {:.6}, \"singles\": {{",
             r.task,
-            r.ops,
-            r.mixed.cost,
-            r.mixed.distinct_platforms(),
-            r.mix_desc,
-            r.mixed_sim_s
+            r.ops(),
+            r.cmp.mixed.cost,
+            r.cmp.mixed.distinct_platforms,
+            r.cmp.mix,
+            r.cmp.mixed_sim_seconds
         );
-        for (j, s) in r.singles.iter().enumerate() {
+        for (j, s) in r.cmp.singles.iter().enumerate() {
             match s.cost {
                 Some(c) => {
-                    let _ = write!(json, "\"{}\": {:.6}", s.name, c);
+                    let _ = write!(json, "\"{}\": {:.6}", s.platform, c);
                 }
                 None => {
-                    let _ = write!(json, "\"{}\": null", s.name);
+                    let _ = write!(json, "\"{}\": null", s.platform);
                 }
             }
-            if j + 1 < r.singles.len() {
+            if j + 1 < r.cmp.singles.len() {
                 json.push_str(", ");
             }
         }

@@ -1,23 +1,30 @@
 //! Fig 3: split-based parallel enumeration scalability (operators ×
-//! platforms × threads), ROADMAP item 2 / ISSUE 6.
+//! platforms × workers), ROADMAP item 2 / ISSUE 6, through the
+//! [`robopt::Optimizer`] facade (ISSUE 7).
 //!
-//! Sweeps `synthetic_pipeline` plans up to 128 operators over `uniform(k)`
-//! registries up to 8 platforms, enumerating serially and with the
-//! [`ParallelEnumerator`] at 1/2/4/8 threads. For every configuration the
-//! binary **asserts** the correctness contract before timing anything:
+//! Sweeps pipeline workloads up to 128 operators over `uniform(k)`
+//! registries up to 8 platforms. The serial baseline is the facade with
+//! `split_parts = 1` (the split driver's serial fallback — the plain
+//! enumerator path); the parallel runs use `split_parts = 8` at 1/2/4/8
+//! workers. **The plan-signature cache is disabled**: worker count is
+//! excluded from the cache key precisely because results are
+//! bit-identical across it, so a memoizing facade would answer every
+//! timed iteration from the cache. For every configuration the binary
+//! **asserts** the correctness contract before timing anything:
 //!
-//! * parallel(T) is bit-identical to parallel(1) — same assignments, same
-//!   cost bits, same [`robopt_core::EnumStats`] — for every thread count;
-//! * parallel agrees with plain serial enumeration on the chosen
-//!   assignments and on cost bits (both paths re-cost the winner
-//!   canonically; intermediate stats legitimately differ across merge
-//!   trees and are not compared).
+//! * parallel(T) is bit-identical to parallel(1) — the full
+//!   [`robopt::OptimizeResponse`] (assignments, cost bits, stats)
+//!   compares equal — for every worker count;
+//! * parallel agrees with the serial fallback on the chosen assignments
+//!   and on cost bits (both paths re-cost the winner canonically;
+//!   intermediate stats legitimately differ across merge trees and are
+//!   not compared).
 //!
 //! Speedup assertions are gated on `std::thread::available_parallelism()`:
-//! ≥ 2.0× at 4 threads needs ≥ 4 hardware threads and a ≥ 1.2× check
+//! ≥ 2.0× at 4 workers needs ≥ 4 hardware threads and a ≥ 1.2× check
 //! applies on 2–3. On a single-core host threads cannot beat wall-clock
 //! physics, and the split path inherently does more row work than serial
-//! even at one thread: interior parts must carry their *left* boundary
+//! even at one worker: interior parts must carry their *left* boundary
 //! operator's platform in every footprint (Def-2 losslessness), so their
 //! merges stage up to `k×` the rows of serial's boundary-1 prefix scopes —
 //! measured ≈ 1.4× total row work at k = 2, worse at higher k. The
@@ -26,39 +33,36 @@
 //! plan, where fixed split/seam costs don't amortize). It exists to catch
 //! pathologies like balanced seam merge trees (k⁴ cross-products), which
 //! regress this ratio by an order of magnitude. Because the hardware clamp
-//! collapses every thread count to one worker on such a host, the 100+-op
-//! entries at different thread counts are replicates of the same
+//! collapses every worker count to one on such a host, the 100+-op
+//! entries at different worker counts are replicates of the same
 //! configuration and the guard takes the best across all of them. The JSON records
 //! `hw_threads` so readers can interpret the numbers. Correctness is
 //! asserted unconditionally.
 //!
-//! `--quick` runs one 32-operator, 2-platform, 2-thread configuration for
+//! `--quick` runs one 32-operator, 2-platform, 2-worker configuration for
 //! CI smoke coverage. Writes `EXPERIMENTS_OUTPUT/fig03_parallel_scaling.txt`
 //! and `BENCH_parallel_enum.json` at the repository root.
 
 use std::fmt::Write as _;
 use std::fs;
 
+use robopt::{ExecutionPolicy, OptimizeRequest, Optimizer, WorkloadSpec};
 use robopt_bench::{bench, repo_root};
-use robopt_core::{
-    AnalyticOracle, EnumOptions, EnumStats, Enumerator, ExecutionPlan, ParallelEnumerator,
-    SplitOptions,
-};
-use robopt_plan::{workloads, LogicalPlan, N_OPERATOR_KINDS};
 use robopt_platforms::PlatformRegistry;
-use robopt_vector::FeatureLayout;
 
 const SPLIT_PARTS: usize = 8;
-const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 struct Entry {
     ops: usize,
     platforms: usize,
-    threads: usize,
+    workers: usize,
     serial_ms: f64,
     serial_p95_ms: f64,
+    serial_per_s: f64,
     parallel_ms: f64,
     parallel_p95_ms: f64,
+    parallel_per_s: f64,
 }
 
 impl Entry {
@@ -67,74 +71,66 @@ impl Entry {
     }
 }
 
-fn assert_identical(
-    tag: &str,
-    (a, sa): &(ExecutionPlan, EnumStats),
-    (b, sb): &(ExecutionPlan, EnumStats),
-) {
-    assert_eq!(a.assignments, b.assignments, "{tag}: assignments differ");
-    assert_eq!(
-        a.cost.to_bits(),
-        b.cost.to_bits(),
-        "{tag}: cost bits differ ({} vs {})",
-        a.cost,
-        b.cost
+fn measure(ops: usize, platforms: usize, workers: usize, warmup: usize, iters: usize) -> Entry {
+    let mut opt = Optimizer::new(PlatformRegistry::uniform(platforms));
+    // Worker count shares one cache line by design; timing a memoized
+    // replay would measure the cache, not enumeration.
+    opt.set_cache_enabled(false);
+    let spec = WorkloadSpec::Pipeline { ops, scale: 1e5 };
+    let serial_req = OptimizeRequest::new(spec).with_policy(
+        ExecutionPolicy::default()
+            .with_workers(1)
+            .with_split_parts(1),
     );
-    assert_eq!(sa, sb, "{tag}: enumeration stats differ");
-}
-
-fn measure(
-    plan: &LogicalPlan,
-    platforms: usize,
-    threads: usize,
-    warmup: usize,
-    iters: usize,
-) -> Entry {
-    let registry = PlatformRegistry::uniform(platforms);
-    let layout = FeatureLayout::new(platforms, N_OPERATOR_KINDS);
-    let oracle = AnalyticOracle::for_registry(&registry, &layout);
-    let opts = EnumOptions::new(&registry).with_oracle(&oracle);
-    let split = SplitOptions::new(SPLIT_PARTS);
-    let tag = format!(
-        "{} ops, {platforms} platforms, {threads} threads",
-        plan.n_ops()
+    let base_req = OptimizeRequest::new(spec).with_policy(
+        ExecutionPolicy::default()
+            .with_workers(1)
+            .with_split_parts(SPLIT_PARTS),
     );
+    let par_req = OptimizeRequest::new(spec).with_policy(
+        ExecutionPolicy::default()
+            .with_workers(workers)
+            .with_split_parts(SPLIT_PARTS),
+    );
+    let tag = format!("{ops} ops, {platforms} platforms, {workers} workers");
 
     // Correctness gate before any timing.
-    let mut serial_enum = Enumerator::new();
-    let mut single = ParallelEnumerator::new(1).with_split(split);
-    let mut par_enum = ParallelEnumerator::new(threads).with_split(split);
-    let serial = serial_enum.enumerate(plan, &layout, opts);
-    let base = single.enumerate(plan, &layout, opts);
-    let par = par_enum.enumerate(plan, &layout, opts);
-    assert_identical(&tag, &par, &base);
+    let serial = opt.optimize(&serial_req).expect("serial optimize");
+    let base = opt.optimize(&base_req).expect("1-worker optimize");
+    let par = opt.optimize(&par_req).expect("parallel optimize");
     assert_eq!(
-        par.0.assignments, serial.0.assignments,
+        par, base,
+        "{tag}: parallel(T) response not bit-identical to parallel(1)"
+    );
+    assert_eq!(
+        par.assignments, serial.assignments,
         "{tag}: parallel and serial disagree on the best plan"
     );
     assert_eq!(
-        par.0.cost.to_bits(),
-        serial.0.cost.to_bits(),
+        par.cost.to_bits(),
+        serial.cost.to_bits(),
         "{tag}: parallel and serial disagree on cost bits"
     );
 
     let serial_t = bench(warmup, iters, || {
-        let (exec, _) = serial_enum.enumerate(plan, &layout, opts);
-        std::hint::black_box(exec.cost);
+        let resp = opt.optimize(&serial_req).expect("serial optimize");
+        std::hint::black_box(resp.cost);
     });
     let parallel_t = bench(warmup, iters, || {
-        let (exec, _) = par_enum.enumerate(plan, &layout, opts);
-        std::hint::black_box(exec.cost);
+        let resp = opt.optimize(&par_req).expect("parallel optimize");
+        std::hint::black_box(resp.cost);
     });
 
     Entry {
-        ops: plan.n_ops(),
+        ops,
         platforms,
-        threads,
+        workers,
         serial_ms: serial_t.median_ms(),
         serial_p95_ms: serial_t.p95_ms(),
+        serial_per_s: serial_t.per_second(1),
         parallel_ms: parallel_t.median_ms(),
         parallel_p95_ms: parallel_t.p95_ms(),
+        parallel_per_s: parallel_t.per_second(1),
     }
 }
 
@@ -142,7 +138,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    let (op_sweep, k_sweep, thread_sweep, warmup, iters): (
+    let (op_sweep, k_sweep, worker_sweep, warmup, iters): (
         Vec<usize>,
         Vec<usize>,
         Vec<usize>,
@@ -154,7 +150,7 @@ fn main() {
         (
             vec![32, 64, 96, 128],
             vec![2, 4, 8],
-            THREAD_SWEEP.to_vec(),
+            WORKER_SWEEP.to_vec(),
             2,
             9,
         )
@@ -162,10 +158,9 @@ fn main() {
 
     let mut entries = Vec::new();
     for &ops in &op_sweep {
-        let plan = workloads::synthetic_pipeline(ops, 1e5);
         for &k in &k_sweep {
-            for &threads in &thread_sweep {
-                entries.push(measure(&plan, k, threads, warmup, iters));
+            for &workers in &worker_sweep {
+                entries.push(measure(ops, k, workers, warmup, iters));
             }
         }
     }
@@ -178,7 +173,7 @@ fn main() {
     let _ = writeln!(
         report,
         "{:>5} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12} {:>9}",
-        "ops", "platforms", "threads", "serial ms", "ser p95", "parallel ms", "par p95", "speedup"
+        "ops", "platforms", "workers", "serial ms", "ser p95", "parallel ms", "par p95", "speedup"
     );
     for e in &entries {
         let _ = writeln!(
@@ -186,7 +181,7 @@ fn main() {
             "{:>5} {:>10} {:>8} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>8.2}x",
             e.ops,
             e.platforms,
-            e.threads,
+            e.workers,
             e.serial_ms,
             e.serial_p95_ms,
             e.parallel_ms,
@@ -203,7 +198,7 @@ fn main() {
         failed |= !ok;
     };
     check(
-        "parallel bit-identical to single-thread and serial (all entries)".to_string(),
+        "parallel bit-identical to single-worker and serial (all entries)".to_string(),
         true, // asserted in measure(); reaching this line means it held
     );
     if quick {
@@ -224,18 +219,18 @@ fn main() {
         // Best speedup across 100+ operator configurations. With real
         // parallel hardware the claim is about 4 worker threads
         // specifically; on a single core the hardware clamp (see
-        // `core::parallel`) collapses every thread count to the same
+        // `core::parallel`) collapses every worker count to the same
         // 1-worker configuration, so those entries are replicates of one
         // configuration and the guard pools them — judging the guard on
-        // the `threads == 4` replicate alone would make a pure
+        // the `workers == 4` replicate alone would make a pure
         // measurement-noise coin flip out of identical work.
-        let best_at = |want_threads: Option<usize>| {
+        let best_at = |want_workers: Option<usize>| {
             entries
                 .iter()
                 .filter(|e| {
                     e.ops >= 100
-                        && match want_threads {
-                            Some(t) => e.threads == t,
+                        && match want_workers {
+                            Some(t) => e.workers == t,
                             None => true,
                         }
                 })
@@ -245,13 +240,13 @@ fn main() {
         let (bound, label, best_at_scale) = if hw_threads >= 4 {
             (
                 2.0,
-                "speedup >= 2x at 100+ ops, 4 threads (hw >= 4)",
+                "speedup >= 2x at 100+ ops, 4 workers (hw >= 4)",
                 best_at(Some(4)),
             )
         } else if hw_threads >= 2 {
             (
                 1.2,
-                "speedup >= 1.2x at 100+ ops, 4 threads (hw 2-3)",
+                "speedup >= 1.2x at 100+ ops, 4 workers (hw 2-3)",
                 best_at(Some(4)),
             )
         } else {
@@ -286,16 +281,19 @@ fn main() {
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"ops\": {}, \"platforms\": {}, \"threads\": {}, \
-             \"serial_ms\": {:.6}, \"serial_p95_ms\": {:.6}, \
-             \"parallel_ms\": {:.6}, \"parallel_p95_ms\": {:.6}, \"speedup\": {:.3}}}",
+            "    {{\"ops\": {}, \"platforms\": {}, \"workers\": {}, \
+             \"serial_ms\": {:.6}, \"serial_p95_ms\": {:.6}, \"serial_per_s\": {:.3}, \
+             \"parallel_ms\": {:.6}, \"parallel_p95_ms\": {:.6}, \"parallel_per_s\": {:.3}, \
+             \"speedup\": {:.3}}}",
             e.ops,
             e.platforms,
-            e.threads,
+            e.workers,
             e.serial_ms,
             e.serial_p95_ms,
+            e.serial_per_s,
             e.parallel_ms,
             e.parallel_p95_ms,
+            e.parallel_per_s,
             e.speedup()
         );
         json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });

@@ -25,11 +25,11 @@ use std::fmt::Write as _;
 use std::fs;
 use std::time::Instant;
 
+use robopt::{OptimizeRequest, Optimizer, SimulateRequest, WorkloadSpec};
 use robopt_bench::repo_root;
-use robopt_core::{CostOracle, EnumOptions, Enumerator};
 use robopt_ml::{
-    spearman, ForestConfig, Metrics, Model, ModelOracle, RandomForest, SamplerConfig,
-    SimulatorSource, TrainingSet, TrainingSource,
+    spearman, ForestConfig, Metrics, Model, RandomForest, SamplerConfig, SimulatorSource,
+    TrainingSet, TrainingSource,
 };
 use robopt_plan::rng::SplitMix64;
 use robopt_plan::{workloads, N_OPERATOR_KINDS};
@@ -208,16 +208,26 @@ fn main() {
     let direct_m = heldout_metrics(&direct_forest, &heldout);
 
     // ---- 4. End-to-end: TDGEN-trained forest vs the true optimum --------
+    // The forest drives enumeration through the service facade (the same
+    // `&dyn CostOracle` plumbing, now owned by the `Optimizer`).
+    let wc = WorkloadSpec::WordCount { scale: 1e7 };
+    let mut opt = Optimizer::named();
+    opt.install_forest(tdgen_forest)
+        .expect("TDGEN forest width matches the named-registry layout");
+    let picked = opt
+        .optimize(&OptimizeRequest::new(wc))
+        .expect("optimize under the TDGEN forest");
+    let picked_s = opt
+        .simulate(&SimulateRequest {
+            workload: wc,
+            assignments: picked.assignments.clone(),
+            seed: SIM_SEED,
+            noise: 0.0,
+        })
+        .expect("simulate the forest-picked plan")
+        .seconds;
     let plan = workloads::wordcount(1e7);
     let sim = RuntimeSimulator::new(&registry, SIM_SEED);
-    let oracle = ModelOracle::new(tdgen_forest);
-    let dyn_oracle: &dyn CostOracle = &oracle;
-    let (exec, _) = Enumerator::new().enumerate(
-        &plan,
-        &layout,
-        EnumOptions::new(&registry).with_oracle(dyn_oracle),
-    );
-    let picked_s = sim.simulate(&plan, &exec.assignments);
     let optimum_s = true_optimum(&plan, &registry, &sim);
 
     let fidelity_ok = fid.spearman >= 0.95;

@@ -18,14 +18,14 @@
 use std::fmt::Write as _;
 use std::fs;
 
+use robopt::{OptimizeRequest, Optimizer, SimulateRequest, WorkloadSpec};
 use robopt_bench::repo_root;
-use robopt_core::{AnalyticOracle, CostOracle, EnumOptions, Enumerator};
 use robopt_ml::{
-    simulator_training_set, ForestConfig, LinearModel, Metrics, Model, ModelOracle, RandomForest,
-    SamplerConfig, TrainingSet,
+    simulator_training_set, ForestConfig, LinearModel, Metrics, Model, RandomForest, SamplerConfig,
+    TrainingSet,
 };
-use robopt_plan::{workloads, N_OPERATOR_KINDS};
-use robopt_platforms::{PlatformRegistry, RuntimeSimulator};
+use robopt_plan::N_OPERATOR_KINDS;
+use robopt_platforms::PlatformRegistry;
 use robopt_vector::FeatureLayout;
 
 const TRAIN_SEED: u64 = 0x000F_169A;
@@ -104,25 +104,34 @@ fn main() {
     let forest = final_forest.expect("at least one sweep point");
 
     // End-to-end: the forest (behind `&dyn CostOracle`) vs the analytic
-    // oracle, both driving the vectorized enumerator on WordCount(1e7);
-    // the simulator is the ground-truth judge.
-    let plan = workloads::wordcount(1e7);
-    let sim = RuntimeSimulator::new(&registry, SIM_SEED);
-    let forest_oracle = ModelOracle::new(forest);
-    let dyn_oracle: &dyn CostOracle = &forest_oracle;
-    let (forest_exec, _) = Enumerator::new().enumerate(
-        &plan,
-        &layout,
-        EnumOptions::new(&registry).with_oracle(dyn_oracle),
-    );
-    let analytic = AnalyticOracle::for_registry(&registry, &layout);
-    let (analytic_exec, _) = Enumerator::new().enumerate(
-        &plan,
-        &layout,
-        EnumOptions::new(&registry).with_oracle(&analytic),
-    );
-    let forest_sim_s = sim.simulate(&plan, &forest_exec.assignments);
-    let analytic_sim_s = sim.simulate(&plan, &analytic_exec.assignments);
+    // oracle, both driving enumeration through the service facade on
+    // WordCount(1e7); the simulator is the ground-truth judge.
+    let wc = WorkloadSpec::WordCount { scale: 1e7 };
+    let sim_req = |assignments: Vec<String>| SimulateRequest {
+        workload: wc,
+        assignments,
+        seed: SIM_SEED,
+        noise: 0.0,
+    };
+    let mut forest_opt = Optimizer::named();
+    forest_opt
+        .install_forest(forest)
+        .expect("forest width matches the named-registry layout");
+    let forest_resp = forest_opt
+        .optimize(&OptimizeRequest::new(wc))
+        .expect("optimize under the forest");
+    let forest_sim_s = forest_opt
+        .simulate(&sim_req(forest_resp.assignments.clone()))
+        .expect("simulate the forest-picked plan")
+        .seconds;
+    let mut analytic_opt = Optimizer::named();
+    let analytic_resp = analytic_opt
+        .optimize(&OptimizeRequest::new(wc))
+        .expect("optimize under the analytic oracle");
+    let analytic_sim_s = analytic_opt
+        .simulate(&sim_req(analytic_resp.assignments.clone()))
+        .expect("simulate the analytic-picked plan")
+        .seconds;
 
     let forest_always_wins = rows.iter().all(|r| r.forest.mse < r.linear.mse);
     let e2e_ok = forest_sim_s <= analytic_sim_s * (1.0 + 1e-9);

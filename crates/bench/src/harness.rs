@@ -23,6 +23,18 @@ impl Timing {
     pub fn p95_ms(&self) -> f64 {
         self.p95_ns / 1e6
     }
+
+    /// Median throughput in items per second, for an iteration that
+    /// processes `items_per_iter` items — the `<prefix>_per_s` figure every
+    /// JSON artifact reports next to `<prefix>_ms` / `<prefix>_p95_ms`, so
+    /// throughput benchmarks (the service daemon) and latency benchmarks
+    /// (the enumeration kernels) share one schema.
+    pub fn per_second(&self, items_per_iter: usize) -> f64 {
+        if self.median_ns <= 0.0 {
+            return f64::INFINITY;
+        }
+        items_per_iter as f64 / (self.median_ns / 1e9)
+    }
 }
 
 /// Run `f` for `warmup` untimed iterations, then `iters` timed ones.
@@ -71,6 +83,10 @@ mod tests {
         assert!(t.median_ns <= t.p95_ns);
         assert!(t.median_ns >= 0.0 && t.mean_ns >= 0.0);
         assert_eq!(t.p95_ms(), t.p95_ns / 1e6);
+        if t.median_ns > 0.0 {
+            let per_s = t.per_second(10);
+            assert!((per_s - 10.0 / (t.median_ns / 1e9)).abs() < 1e-9);
+        }
     }
 
     #[test]

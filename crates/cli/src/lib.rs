@@ -1,16 +1,468 @@
-//! `robopt-cli`: the `robopt` command-line tool (train / optimize /
-//! simulate / compare / workloads).
+//! `robopt-cli`: the `robopt` command-line tool.
 //!
-//! **Stub** — lands in a later PR (see ROADMAP.md "Open items").
+//! One binary, five subcommands, all speaking the `robopt` service API:
+//!
+//! * `robopt serve [--tcp PORT]` — the optimizer daemon: one JSON request
+//!   per line (stdin by default, a localhost TCP socket with `--tcp`), one
+//!   JSON response per line, until `{"op":"quit"}` or EOF;
+//! * `robopt optimize|simulate|compare` — one-shot verbs taking the
+//!   workload from flags, printing the response line to stdout;
+//! * `robopt train` — trains a forest, installs it, and (with
+//!   `--model-out`) persists it as bit-exact JSON for later `--model` use.
+//!
+//! Everything is offline and dependency-free: flag parsing is hand-rolled,
+//! the wire format is the hand-rendered JSON from `robopt::wire`, and the
+//! TCP mode binds loopback only.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
-/// Exit code returned until the CLI lands.
-pub const EXIT_UNIMPLEMENTED: i32 = 2;
+use std::io::{BufRead, BufReader, Write};
 
-/// Placeholder entry point so dependents can reference the crate.
-pub fn run() -> i32 {
-    eprintln!("the robopt CLI lands in a later PR; see ROADMAP.md");
-    EXIT_UNIMPLEMENTED
+use robopt::{
+    parse_request, render_response, ExecutionPolicy, OptimizeRequest, Optimizer, Request, Response,
+    ServiceError, TrainRequest, TrainSource, WorkloadSpec,
+};
+
+/// Successful run.
+pub const EXIT_OK: i32 = 0;
+/// A well-formed request that the service answered with an error.
+pub const EXIT_REQUEST_FAILED: i32 = 1;
+/// Unusable command line (unknown subcommand, bad flag, missing value).
+pub const EXIT_USAGE: i32 = 2;
+
+/// Entry point: dispatch `args` (without the program name) and return the
+/// process exit code.
+pub fn run(args: Vec<String>) -> i32 {
+    let mut args = args.into_iter();
+    let Some(cmd) = args.next() else {
+        eprintln!("{USAGE}");
+        return EXIT_USAGE;
+    };
+    let rest: Vec<String> = args.collect();
+    match cmd.as_str() {
+        "serve" => cmd_serve(&rest),
+        "optimize" => cmd_one_shot(&rest, Verb::Optimize),
+        "simulate" => cmd_one_shot(&rest, Verb::Simulate),
+        "compare" => cmd_one_shot(&rest, Verb::Compare),
+        "train" => cmd_train(&rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            EXIT_OK
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}\n{USAGE}");
+            EXIT_USAGE
+        }
+    }
+}
+
+const USAGE: &str = "robopt — optimizer-as-a-service for cross-platform query plans
+
+USAGE:
+  robopt serve [--tcp PORT] [--cache-capacity N] [--no-cache] [--model FILE]
+      Line-delimited JSON request loop ({\"op\":\"optimize\"|\"train\"|
+      \"simulate\"|\"compare\"|\"stats\"|\"quit\"}) over stdin or a
+      loopback TCP socket.
+
+  robopt optimize [workload flags] [--workers N] [--split-parts N]
+                  [--no-prune] [--model FILE]
+  robopt simulate [workload flags] [--seed N] [--noise X] [--model FILE]
+  robopt compare  [workload flags] [--workers N] [--sim-seed N] [--model FILE]
+  robopt train    [--rows N] [--trees N] [--seed N] [--source simulator|tdgen]
+                  [--forest-seed N] [--model-out FILE]
+
+WORKLOAD FLAGS:
+  --workload wordcount|tpch_q3|pipeline|random_dag   (default wordcount)
+  --scale X      input tuples (default 1e7)
+  --ops N        operator count for pipeline/random_dag (default 16)
+  --dag-seed N   random_dag shape seed (default 1)
+  --density X    random_dag extra-edge probability (default 0.3)";
+
+/// One-shot verbs sharing the workload/policy flag surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verb {
+    Optimize,
+    Simulate,
+    Compare,
+}
+
+/// Parsed flag list: `--key value` pairs plus boolean `--key` switches.
+#[derive(Debug, Default)]
+struct Flags {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value; everything else expects `--flag VALUE`.
+const SWITCHES: &[&str] = &["--no-cache", "--no-prune", "--no-clamp"];
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if !arg.starts_with("--") {
+            return Err(format!("unexpected argument {arg:?}"));
+        }
+        if SWITCHES.contains(&arg.as_str()) {
+            flags.switches.push(arg.clone());
+            continue;
+        }
+        let Some(value) = it.next() else {
+            return Err(format!("flag {arg} expects a value"));
+        };
+        flags.pairs.push((arg.clone(), value.clone()));
+    }
+    Ok(flags)
+}
+
+impl Flags {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag {key} has invalid value {raw:?}")),
+        }
+    }
+}
+
+fn workload_from_flags(flags: &Flags) -> Result<WorkloadSpec, String> {
+    let scale: f64 = flags.parse("--scale", 1e7)?;
+    let ops: usize = flags.parse("--ops", 16)?;
+    match flags.get("--workload").unwrap_or("wordcount") {
+        "wordcount" => Ok(WorkloadSpec::WordCount { scale }),
+        "tpch_q3" => Ok(WorkloadSpec::TpchQ3 { scale }),
+        "pipeline" => Ok(WorkloadSpec::Pipeline { ops, scale }),
+        "random_dag" => Ok(WorkloadSpec::RandomDag {
+            seed: flags.parse("--dag-seed", 1u64)?,
+            ops,
+            density: flags.parse("--density", 0.3f64)?,
+        }),
+        other => Err(format!("unknown workload {other:?}")),
+    }
+}
+
+fn policy_from_flags(flags: &Flags) -> Result<ExecutionPolicy, String> {
+    let mut policy = ExecutionPolicy::default()
+        .with_workers(flags.parse("--workers", 1usize)?)
+        .with_split_parts(flags.parse("--split-parts", 8usize)?);
+    if flags.has("--no-prune") {
+        policy = policy.with_prune(false);
+    }
+    if flags.has("--no-clamp") {
+        policy = policy.with_hardware_clamp(false);
+    }
+    Ok(policy)
+}
+
+/// Build the facade, honoring `--model`, `--cache-capacity`, `--no-cache`.
+fn optimizer_from_flags(flags: &Flags) -> Result<Optimizer, String> {
+    let mut opt = Optimizer::named();
+    if let Some(capacity) = flags.get("--cache-capacity") {
+        let capacity: usize = capacity
+            .parse()
+            .map_err(|_| format!("--cache-capacity has invalid value {capacity:?}"))?;
+        opt.set_cache_capacity(capacity);
+    }
+    if flags.has("--no-cache") {
+        opt.set_cache_enabled(false);
+    }
+    if let Some(path) = flags.get("--model") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read model file {path:?}: {e}"))?;
+        let forest = robopt::forest_from_json(&text).map_err(|e| e.to_string())?;
+        opt.install_forest(forest).map_err(|e| e.to_string())?;
+    }
+    Ok(opt)
+}
+
+fn cmd_one_shot(args: &[String], verb: Verb) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(msg) => return usage_error(&msg),
+    };
+    let setup = (|| -> Result<(Optimizer, Request), String> {
+        let opt = optimizer_from_flags(&flags)?;
+        let workload = workload_from_flags(&flags)?;
+        let req = match verb {
+            Verb::Optimize => Request::Optimize(
+                OptimizeRequest::new(workload).with_policy(policy_from_flags(&flags)?),
+            ),
+            Verb::Simulate => Request::Simulate(robopt::SimulateRequest {
+                workload,
+                assignments: Vec::new(),
+                seed: flags.parse("--seed", 42u64)?,
+                noise: flags.parse("--noise", 0.0f64)?,
+            }),
+            Verb::Compare => Request::Compare(robopt::CompareRequest {
+                workload,
+                policy: policy_from_flags(&flags)?,
+                sim_seed: flags.parse("--sim-seed", 42u64)?,
+            }),
+        };
+        Ok((opt, req))
+    })();
+    let (mut opt, req) = match setup {
+        Ok(pair) => pair,
+        Err(msg) => return usage_error(&msg),
+    };
+    let resp = dispatch(&mut opt, &req);
+    let failed = matches!(resp, Response::Error(_));
+    println!("{}", render_response(&resp));
+    if failed {
+        EXIT_REQUEST_FAILED
+    } else {
+        EXIT_OK
+    }
+}
+
+fn cmd_train(args: &[String]) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(msg) => return usage_error(&msg),
+    };
+    let setup = (|| -> Result<TrainRequest, String> {
+        let rows: usize = flags.parse("--rows", 512)?;
+        let seed: u64 = flags.parse("--seed", 41)?;
+        let source = match flags.get("--source").unwrap_or("simulator") {
+            "simulator" => TrainSource::Simulator {
+                seed,
+                noise: flags.parse("--noise", 0.05f64)?,
+            },
+            "tdgen" => TrainSource::Tdgen { seed },
+            other => return Err(format!("unknown training source {other:?}")),
+        };
+        Ok(TrainRequest {
+            source,
+            rows,
+            n_trees: flags.parse("--trees", 24)?,
+            forest_seed: flags.parse("--forest-seed", 0x0b5e_55edu64)?,
+        })
+    })();
+    let req = match setup {
+        Ok(req) => req,
+        Err(msg) => return usage_error(&msg),
+    };
+    let mut opt = Optimizer::named();
+    match opt.train(&req) {
+        Ok(resp) => {
+            if let Some(path) = flags.get("--model-out") {
+                let Some(forest) = opt.forest() else {
+                    eprintln!("internal error: train succeeded without a forest");
+                    return EXIT_REQUEST_FAILED;
+                };
+                if let Err(e) = std::fs::write(path, robopt::forest_to_json(forest)) {
+                    eprintln!("cannot write model file {path:?}: {e}");
+                    return EXIT_REQUEST_FAILED;
+                }
+            }
+            println!("{}", render_response(&Response::Train(resp)));
+            EXIT_OK
+        }
+        Err(e) => {
+            println!("{}", render_response(&Response::Error(e)));
+            EXIT_REQUEST_FAILED
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(msg) => return usage_error(&msg),
+    };
+    let mut opt = match optimizer_from_flags(&flags) {
+        Ok(opt) => opt,
+        Err(msg) => return usage_error(&msg),
+    };
+    match flags.get("--tcp") {
+        None => {
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout().lock();
+            serve_lines(&mut opt, stdin.lock(), &mut stdout);
+            EXIT_OK
+        }
+        Some(port) => {
+            let Ok(port) = port.parse::<u16>() else {
+                return usage_error(&format!("--tcp has invalid port {port:?}"));
+            };
+            serve_tcp(&mut opt, port)
+        }
+    }
+}
+
+/// The serve loop: one request line in, one response line out, until
+/// `quit` or EOF. Shared by stdin and per-connection TCP serving.
+/// Returns `true` if the session ended with an explicit `quit`.
+fn serve_lines<R: BufRead, W: Write>(opt: &mut Optimizer, reader: R, writer: &mut W) -> bool {
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return false;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = match parse_request(&line) {
+            Ok(Request::Quit) => {
+                let _ = writeln!(writer, "{}", quit_ack());
+                let _ = writer.flush();
+                return true;
+            }
+            Ok(req) => dispatch(opt, &req),
+            Err(e) => Response::Error(e),
+        };
+        if writeln!(writer, "{}", render_response(&resp)).is_err() {
+            return false;
+        }
+        let _ = writer.flush();
+    }
+    false
+}
+
+/// Loopback TCP serving: connections are handled one at a time (the facade
+/// is single-threaded by design — batching, not request threading, is the
+/// concurrency story; one shared cache serves every connection). A `quit`
+/// closes the connection *and* the server.
+fn serve_tcp(opt: &mut Optimizer, port: u16) -> i32 {
+    let listener = match std::net::TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+            return EXIT_REQUEST_FAILED;
+        }
+    };
+    eprintln!("robopt: serving on 127.0.0.1:{port}");
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        let mut writer = stream;
+        let quit = serve_lines(opt, BufReader::new(read_half), &mut writer);
+        if quit {
+            return EXIT_OK;
+        }
+    }
+    EXIT_OK
+}
+
+/// Route one parsed request into the facade.
+fn dispatch(opt: &mut Optimizer, req: &Request) -> Response {
+    match req {
+        Request::Optimize(r) => match opt.optimize(r) {
+            Ok(resp) => Response::Optimize(resp),
+            Err(e) => Response::Error(e),
+        },
+        Request::Train(r) => match opt.train(r) {
+            Ok(resp) => Response::Train(resp),
+            Err(e) => Response::Error(e),
+        },
+        Request::Simulate(r) => match opt.simulate(r) {
+            Ok(resp) => Response::Simulate(resp),
+            Err(e) => Response::Error(e),
+        },
+        Request::Compare(r) => match opt.compare(r) {
+            Ok(resp) => Response::Compare(resp),
+            Err(e) => Response::Error(e),
+        },
+        Request::Stats => Response::Stats(opt.service_stats()),
+        Request::Quit => Response::Error(ServiceError::InvalidRequest(
+            "quit is handled by the serve loop".to_string(),
+        )),
+    }
+}
+
+fn quit_ack() -> String {
+    "{\"ok\":true,\"kind\":\"quit\"}".to_string()
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("robopt: {msg}\n\n{USAGE}");
+    EXIT_USAGE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_loop_answers_a_scripted_session() {
+        let script = concat!(
+            r#"{"op":"optimize","workload":{"kind":"wordcount","scale":1e7}}"#,
+            "\n",
+            r#"{"op":"optimize","workload":{"kind":"wordcount","scale":1e7}}"#,
+            "\n",
+            r#"{"op":"stats"}"#,
+            "\n",
+            r#"{"op":"quit"}"#,
+            "\n",
+        );
+        let mut opt = Optimizer::named();
+        let mut out = Vec::new();
+        let quit = serve_lines(&mut opt, script.as_bytes(), &mut out);
+        assert!(quit, "script ends with quit");
+        let text = String::from_utf8(out).expect("utf-8 output");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "one response per request");
+        assert!(lines[0].contains("\"ok\":true"));
+        assert_eq!(lines[0], lines[1], "cache hit is byte-identical");
+        assert!(
+            lines[2].contains("\"hits\":1"),
+            "stats sees the hit: {}",
+            lines[2]
+        );
+        assert!(lines[3].contains("\"quit\""));
+    }
+
+    #[test]
+    fn serve_loop_survives_garbage_lines() {
+        let script = "this is not json\n{\"op\":\"warp\"}\n{\"op\":\"stats\"}\n";
+        let mut opt = Optimizer::named();
+        let mut out = Vec::new();
+        let quit = serve_lines(&mut opt, script.as_bytes(), &mut out);
+        assert!(!quit, "EOF, not quit");
+        let text = String::from_utf8(out).expect("utf-8 output");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"ok\":false"));
+        assert!(lines[1].contains("\"ok\":false"));
+        assert!(lines[2].contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn flag_parsing_catches_the_usual_mistakes() {
+        assert!(
+            parse_flags(&["--rows".to_string()]).is_err(),
+            "missing value"
+        );
+        assert!(parse_flags(&["stray".to_string()]).is_err(), "non-flag arg");
+        let flags = parse_flags(&[
+            "--workload".to_string(),
+            "pipeline".to_string(),
+            "--ops".to_string(),
+            "24".to_string(),
+            "--no-cache".to_string(),
+        ])
+        .expect("valid flags");
+        assert!(flags.has("--no-cache"));
+        assert_eq!(
+            workload_from_flags(&flags).expect("workload"),
+            WorkloadSpec::Pipeline {
+                ops: 24,
+                scale: 1e7
+            }
+        );
+    }
 }

@@ -1,0 +1,5 @@
+//! The `robopt` binary: thin shim over [`robopt_cli::run`].
+
+fn main() {
+    std::process::exit(robopt_cli::run(std::env::args().skip(1).collect()));
+}

@@ -81,6 +81,24 @@ impl ParallelEnumerator {
         self.threads
     }
 
+    /// Re-target the worker count **in place**, keeping every per-part
+    /// enumerator (and its warmed matrix pool) alive. The service facade
+    /// changes policy per request; rebuilding via [`ParallelEnumerator::new`]
+    /// would throw the pools away and reintroduce hot-path allocation.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// In-place counterpart of [`ParallelEnumerator::with_split`].
+    pub fn set_split(&mut self, split: SplitOptions) {
+        self.split = split;
+    }
+
+    /// In-place counterpart of [`ParallelEnumerator::with_hardware_clamp`].
+    pub fn set_hardware_clamp(&mut self, clamp: bool) {
+        self.hardware_clamp = clamp;
+    }
+
     /// Run split-based enumeration. Same contract as
     /// [`Enumerator::enumerate`]; additionally the result is bit-identical
     /// across thread counts (see the module docs).

@@ -89,6 +89,10 @@ pub const RULES: &[RuleInfo] = &[
         id: "artifact-exists",
         guards: "honest docs: referenced experiment artifacts exist on disk",
     },
+    RuleInfo {
+        id: "response-serialize-total",
+        guards: "service contract: every pub *Response field must appear as a quoted JSON key in the service crate's renderer",
+    },
 ];
 
 /// Run every rule over the loaded workspace.
@@ -100,6 +104,7 @@ pub fn check(ws: &Workspace) -> LintOutcome {
     for f in &ws.sources {
         check_source(f, &mut out);
     }
+    check_response_fields(&ws.sources, &mut out);
     for m in &ws.manifests {
         check_manifest(m, &mut out);
     }
@@ -526,6 +531,95 @@ fn check_platform_params(file: &SourceFile, out: &mut LintOutcome) {
     }
 }
 
+/// The crate whose `*Response` structs form the service wire contract.
+const SERVICE_CRATE: &str = "robopt";
+
+/// ISSUE 7 service contract: the wire protocol is hand-rendered (the
+/// workspace is dependency-free, so there is no derive to keep struct and
+/// JSON in sync). A field added to a `pub struct …Response` silently
+/// vanishes from every served response unless the renderer is also
+/// touched. This rule closes the gap mechanically: every `pub` field of a
+/// `*Response` struct in the service crate must appear as a quoted
+/// `"key"` inside that crate's non-test string literals.
+fn check_response_fields(sources: &[SourceFile], out: &mut LintOutcome) {
+    // Pool every literal the service crate can render (non-test lines:
+    // a key mentioned only by a test must not mask a missing renderer).
+    let mut pool = String::new();
+    for f in sources.iter().filter(|f| f.crate_name == SERVICE_CRATE) {
+        for (li, line) in f.lines.iter().enumerate() {
+            if !f.test_mask.get(li).copied().unwrap_or(false) {
+                pool.push_str(&line.literal);
+                pool.push('\n');
+            }
+        }
+    }
+    for f in sources.iter().filter(|f| f.crate_name == SERVICE_CRATE) {
+        for li in 0..f.lines.len() {
+            let code = f.lines.get(li).map(|l| l.code.as_str()).unwrap_or("");
+            let Some(at) = code.find("pub struct ") else {
+                continue;
+            };
+            let name: String = code
+                .get(at + "pub struct ".len()..)
+                .unwrap_or("")
+                .chars()
+                .take_while(|&c| c.is_alphanumeric() || c == '_')
+                .collect();
+            if !name.ends_with("Response") {
+                continue;
+            }
+            let Some((bl, bc)) = find_code_char(&f.lines, li, at, |c| c == '{' || c == ';') else {
+                continue;
+            };
+            let opens = f
+                .lines
+                .get(bl)
+                .and_then(|l| l.code.get(bc..))
+                .and_then(|s| s.chars().next())
+                == Some('{');
+            if !opens {
+                continue; // tuple/unit struct: nothing field-named to check
+            }
+            let end = match_brace(&f.lines, bl, bc).unwrap_or(bl);
+            for fl in bl..=end {
+                let fcode = f.lines.get(fl).map(|l| l.code.as_str()).unwrap_or("");
+                let Some(rest) = fcode.trim_start().strip_prefix("pub ") else {
+                    continue;
+                };
+                let field: String = rest
+                    .chars()
+                    .take_while(|&c| c.is_alphanumeric() || c == '_')
+                    .collect();
+                let is_field = !field.is_empty()
+                    && rest
+                        .get(field.len()..)
+                        .unwrap_or("")
+                        .trim_start()
+                        .starts_with(':');
+                if !is_field {
+                    continue; // the struct header itself, or a nested item
+                }
+                if !pool.contains(&format!("\"{field}\"")) {
+                    emit(
+                        f,
+                        fl,
+                        "response-serialize-total",
+                        format!(
+                            "field `{field}` of `{name}` never appears as a quoted \
+                             \"{field}\" key in the {SERVICE_CRATE} crate's string \
+                             literals: the hand-rendered wire protocol would drop it \
+                             from every served response; render it (or justify an \
+                             internal-only field with \
+                             lint:allow(response-serialize-total))"
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Only `path =` / `workspace = true` dependencies may appear in any
 /// dependency section: the build image has no registry access.
 fn check_manifest(tf: &TextFile, out: &mut LintOutcome) {
@@ -862,6 +956,64 @@ mod tests {
         let mut out = LintOutcome::default();
         check_source(&f, &mut out);
         assert!(out.violations.is_empty());
+    }
+
+    // -- response-serialize-total ---------------------------------------
+
+    fn lint_response(files: &[(&str, &str)]) -> LintOutcome {
+        let sources: Vec<SourceFile> = files.iter().map(|(name, src)| fixture(name, src)).collect();
+        let mut out = LintOutcome::default();
+        check_response_fields(&sources, &mut out);
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn response_fields_rendered_as_json_keys_pass() {
+        let api = "pub struct PingResponse {\n    pub seconds: f64,\n    pub feasible: bool,\n}\n";
+        let wire = "pub fn render() -> String {\n    format!(\"{{\\\"seconds\\\":{},\\\"feasible\\\":{}}}\", 1, true)\n}\n";
+        let out = lint_response(&[("robopt", api), ("robopt", wire)]);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn unrendered_response_field_is_flagged() {
+        let api = "pub struct PingResponse {\n    pub seconds: f64,\n    pub forgotten: u64,\n}\n";
+        let wire = "pub fn render() -> String { String::from(\"{\\\"seconds\\\":0}\") }\n";
+        let out = lint_response(&[("robopt", api), ("robopt", wire)]);
+        assert_eq!(rule_hits(&out), vec!["response-serialize-total"]);
+        assert!(out
+            .violations
+            .first()
+            .is_some_and(|d| d.message.contains("forgotten") && d.line == 3));
+    }
+
+    #[test]
+    fn response_rule_ignores_other_crates_tests_and_non_response_structs() {
+        // Same shape outside the service crate: out of scope.
+        let api = "pub struct PingResponse {\n    pub forgotten: u64,\n}\n";
+        assert!(lint_response(&[("core", api)]).violations.is_empty());
+        // A key mentioned only inside #[cfg(test)] must not count as rendered.
+        let test_only = "pub struct PingResponse {\n    pub seconds: f64,\n}\n#[cfg(test)]\nmod tests {\n    const T: &str = \"\\\"seconds\\\":1\";\n}\n";
+        assert_eq!(
+            rule_hits(&lint_response(&[("robopt", test_only)])),
+            vec!["response-serialize-total"]
+        );
+        // Request structs carry no rendering obligation.
+        let req = "pub struct PingRequest {\n    pub unrendered: u64,\n}\n";
+        assert!(lint_response(&[("robopt", req)]).violations.is_empty());
+    }
+
+    #[test]
+    fn response_rule_respects_lint_allow() {
+        let api = "pub struct PingResponse {\n    // lint:allow(response-serialize-total) internal bookkeeping, not wire-visible\n    pub internal: u64,\n}\n";
+        let out = lint_response(&[("robopt", api)]);
+        assert!(out.violations.is_empty());
+        assert_eq!(out.allowed.len(), 1);
+        assert_eq!(
+            out.allowed.first().map(|a| a.rule),
+            Some("response-serialize-total")
+        );
     }
 
     // -- manifests and docs ---------------------------------------------

@@ -113,6 +113,28 @@ impl RandomForest {
         RandomForest::fit(config, set.rows_view(), &set.labels)
     }
 
+    /// Reassemble a forest from deserialized trees. Each tree has already
+    /// passed [`RegressionTree::from_parts`] validation; this checks the
+    /// forest-level invariants (non-empty, one shared feature width) so a
+    /// loaded model satisfies exactly the contract a fitted one does.
+    pub fn from_trees(
+        width: usize,
+        trees: Vec<RegressionTree>,
+    ) -> Result<RandomForest, crate::tree::ModelImportError> {
+        if trees.is_empty() {
+            return Err(crate::tree::ModelImportError::Empty);
+        }
+        for tree in &trees {
+            if tree.width() != width {
+                return Err(crate::tree::ModelImportError::WidthMismatch {
+                    expected: width,
+                    got: tree.width(),
+                });
+            }
+        }
+        Ok(RandomForest { width, trees })
+    }
+
     /// Number of trees in the ensemble.
     pub fn n_trees(&self) -> usize {
         self.trees.len()

@@ -41,4 +41,4 @@ pub use metrics::{mae, mse, q_error, r_squared, spearman, Metrics};
 pub use model::{Model, ModelOracle};
 pub use source::{TrainingSet, TrainingSource};
 pub use training::{simulator_training_set, SamplerConfig, SimulatorSource};
-pub use tree::{RegressionTree, TreeConfig};
+pub use tree::{ModelImportError, RegressionTree, TreeConfig};

@@ -16,6 +16,69 @@ use crate::model::Model;
 /// Sentinel column id marking a leaf node.
 const LEAF: u32 = u32::MAX;
 
+/// Why a deserialized tree/forest was rejected by the validated
+/// constructors ([`RegressionTree::from_parts`],
+/// [`crate::RandomForest::from_trees`]). Malformed persisted models must
+/// fail with one of these — never panic and never produce a tree whose
+/// `predict` could loop or index out of bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelImportError {
+    /// A tree needs at least its root node; a forest at least one tree.
+    Empty,
+    /// The five node arrays must all have the same length.
+    LengthMismatch {
+        field: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// Every tree of a forest must share the forest's feature width.
+    WidthMismatch { expected: usize, got: usize },
+    /// An internal node's split column is outside the feature width.
+    SplitColOutOfRange { node: usize, col: u32 },
+    /// A child index is out of bounds or not strictly greater than its
+    /// parent (children follow parents in the flat arrays, which is what
+    /// guarantees `predict` terminates).
+    BadChild { node: usize, child: u32 },
+    /// A threshold or leaf value is NaN/infinite.
+    NonFinite { node: usize },
+}
+
+impl std::fmt::Display for ModelImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelImportError::Empty => write!(f, "model has no nodes/trees"),
+            ModelImportError::LengthMismatch {
+                field,
+                expected,
+                got,
+            } => write!(
+                f,
+                "node array `{field}` has {got} entries, expected {expected}"
+            ),
+            ModelImportError::WidthMismatch { expected, got } => {
+                write!(f, "tree width {got} does not match forest width {expected}")
+            }
+            ModelImportError::SplitColOutOfRange { node, col } => {
+                write!(
+                    f,
+                    "node {node} splits on column {col} outside the feature width"
+                )
+            }
+            ModelImportError::BadChild { node, child } => {
+                write!(
+                    f,
+                    "node {node} points at child {child} (out of range or non-forward)"
+                )
+            }
+            ModelImportError::NonFinite { node } => {
+                write!(f, "node {node} carries a non-finite threshold or value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelImportError {}
+
 /// Stopping and randomization knobs for a single [`RegressionTree`].
 #[derive(Debug, Clone, Copy)]
 pub struct TreeConfig {
@@ -55,6 +118,11 @@ pub struct RegressionTree {
     right: Vec<u32>,
     value: Vec<f64>,
 }
+
+/// Borrowed views of a tree's flat node arrays, in
+/// `(split_col, threshold, left, right, value)` order — what
+/// [`RegressionTree::parts`] returns and persistence renderers consume.
+pub type TreeParts<'a> = (&'a [u32], &'a [f64], &'a [u32], &'a [u32], &'a [f64]);
 
 /// One pending node during fitting: its slice of the shared index buffer.
 struct PendingNode {
@@ -218,6 +286,88 @@ impl RegressionTree {
         self.split_col.len() - 1
     }
 
+    /// Sentinel `split_col` entry marking a leaf (public so persistence
+    /// code can render/parse the flat arrays without magic numbers).
+    pub const LEAF_SENTINEL: u32 = LEAF;
+
+    /// Reassemble a tree from its flat node arrays, validating every
+    /// structural invariant `predict` relies on. The inverse of the
+    /// [`RegressionTree::parts`] accessor; persistence loaders must come
+    /// through here so a corrupted file can never build a tree that loops
+    /// or indexes out of bounds.
+    pub fn from_parts(
+        width: usize,
+        split_col: Vec<u32>,
+        threshold: Vec<f64>,
+        left: Vec<u32>,
+        right: Vec<u32>,
+        value: Vec<f64>,
+    ) -> Result<RegressionTree, ModelImportError> {
+        let n = split_col.len();
+        if n == 0 {
+            return Err(ModelImportError::Empty);
+        }
+        for (field, got) in [
+            ("threshold", threshold.len()),
+            ("left", left.len()),
+            ("right", right.len()),
+            ("value", value.len()),
+        ] {
+            if got != n {
+                return Err(ModelImportError::LengthMismatch {
+                    field,
+                    expected: n,
+                    got,
+                });
+            }
+        }
+        for node in 0..n {
+            if !value[node].is_finite() {
+                return Err(ModelImportError::NonFinite { node });
+            }
+            if split_col[node] == LEAF {
+                continue;
+            }
+            if split_col[node] as usize >= width {
+                return Err(ModelImportError::SplitColOutOfRange {
+                    node,
+                    col: split_col[node],
+                });
+            }
+            if !threshold[node].is_finite() {
+                return Err(ModelImportError::NonFinite { node });
+            }
+            // Children must exist and sit strictly after their parent —
+            // the fitter pushes children after parents, and this forward
+            // ordering is exactly what bounds every root→leaf walk.
+            for child in [left[node], right[node]] {
+                if child as usize >= n || child as usize <= node {
+                    return Err(ModelImportError::BadChild { node, child });
+                }
+            }
+        }
+        Ok(RegressionTree {
+            width,
+            split_col,
+            threshold,
+            left,
+            right,
+            value,
+        })
+    }
+
+    /// The flat node arrays `(split_col, threshold, left, right, value)` —
+    /// the tree's full persistent state alongside [`Model::width`].
+    pub fn parts(&self) -> TreeParts<'_> {
+        (
+            &self.split_col,
+            &self.threshold,
+            &self.left,
+            &self.right,
+            &self.value,
+        )
+    }
+
     /// Number of nodes (internal + leaves).
     pub fn n_nodes(&self) -> usize {
         self.split_col.len()
@@ -377,6 +527,84 @@ mod tests {
         assert_eq!(a.split_col, b.split_col);
         assert_eq!(a.threshold, b.threshold);
         assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_predictions() {
+        let feats: Vec<f64> = (0..32).map(f64::from).collect();
+        let labels: Vec<f64> = feats.iter().map(|&x| (x * 0.7).sin()).collect();
+        let tree = fit_all(&TreeConfig::default(), &feats, 1, &labels);
+        let (sc, th, l, r, v) = tree.parts();
+        let rebuilt = RegressionTree::from_parts(
+            1,
+            sc.to_vec(),
+            th.to_vec(),
+            l.to_vec(),
+            r.to_vec(),
+            v.to_vec(),
+        )
+        .unwrap();
+        for x in &feats {
+            assert_eq!(
+                tree.predict(&[*x]).to_bits(),
+                rebuilt.predict(&[*x]).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_trees() {
+        // Empty.
+        assert!(matches!(
+            RegressionTree::from_parts(1, vec![], vec![], vec![], vec![], vec![]),
+            Err(ModelImportError::Empty)
+        ));
+        // Array length drift.
+        assert!(matches!(
+            RegressionTree::from_parts(1, vec![LEAF], vec![0.0], vec![0], vec![0], vec![]),
+            Err(ModelImportError::LengthMismatch { field: "value", .. })
+        ));
+        // Split column outside the width.
+        assert!(matches!(
+            RegressionTree::from_parts(
+                1,
+                vec![5, LEAF, LEAF],
+                vec![0.5; 3],
+                vec![1, 0, 0],
+                vec![2, 0, 0],
+                vec![0.0; 3]
+            ),
+            Err(ModelImportError::SplitColOutOfRange { node: 0, col: 5 })
+        ));
+        // Self-referencing child would loop forever in predict.
+        assert!(matches!(
+            RegressionTree::from_parts(
+                1,
+                vec![0, LEAF],
+                vec![0.5, 0.0],
+                vec![0, 0],
+                vec![1, 0],
+                vec![0.0, 1.0]
+            ),
+            Err(ModelImportError::BadChild { node: 0, child: 0 })
+        ));
+        // Child index past the end.
+        assert!(matches!(
+            RegressionTree::from_parts(
+                1,
+                vec![0, LEAF],
+                vec![0.5, 0.0],
+                vec![1, 0],
+                vec![9, 0],
+                vec![0.0, 1.0]
+            ),
+            Err(ModelImportError::BadChild { node: 0, child: 9 })
+        ));
+        // NaN leaf value.
+        assert!(matches!(
+            RegressionTree::from_parts(1, vec![LEAF], vec![0.0], vec![0], vec![0], vec![f64::NAN]),
+            Err(ModelImportError::NonFinite { node: 0 })
+        ));
     }
 
     #[test]

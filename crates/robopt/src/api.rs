@@ -1,0 +1,526 @@
+//! The service API value types (DESIGN §10).
+//!
+//! One request/response pair per verb. Requests are plain data — workload
+//! *specs*, not built plans — so they can be hashed into cache keys,
+//! rendered over the wire, and replayed deterministically. Responses carry
+//! only owned data (names, not `PlatformId`s) so they survive the facade
+//! they came from.
+
+use robopt_core::EnumStats;
+use robopt_plan::{workloads, LogicalPlan, SplitMix64};
+use robopt_vector::SigHasher;
+
+use crate::cache::CacheStats;
+
+/// How a request's enumeration executes. Split into two groups:
+///
+/// * `workers` and `hardware_clamp` schedule work but — by the split-driver
+///   determinism contract — **cannot change the result**, so they are
+///   excluded from the plan-signature cache key;
+/// * `split_parts` and `prune` change the merge tree / search shape (and
+///   thus [`EnumStats`]), so they are part of the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionPolicy {
+    /// Worker threads for split-based enumeration (≥ 1).
+    pub workers: usize,
+    /// Plan partition count handed to `robopt_core::SplitOptions`.
+    /// `1` disables splitting (serial enumeration on the merger).
+    pub split_parts: usize,
+    /// Cap workers at `available_parallelism` (on by default).
+    pub hardware_clamp: bool,
+    /// Def-2 lossless boundary pruning (on by default).
+    pub prune: bool,
+}
+
+impl Default for ExecutionPolicy {
+    fn default() -> Self {
+        ExecutionPolicy {
+            workers: 1,
+            split_parts: 8,
+            hardware_clamp: true,
+            prune: true,
+        }
+    }
+}
+
+impl ExecutionPolicy {
+    /// Default policy with `workers` worker threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Override the plan partition count.
+    pub fn with_split_parts(mut self, parts: usize) -> Self {
+        self.split_parts = parts.max(1);
+        self
+    }
+
+    /// Toggle the `available_parallelism` worker cap.
+    pub fn with_hardware_clamp(mut self, clamp: bool) -> Self {
+        self.hardware_clamp = clamp;
+        self
+    }
+
+    /// Toggle Def-2 pruning.
+    pub fn with_prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Fold the result-affecting fields into a signature hasher.
+    /// `workers` / `hardware_clamp` deliberately excluded (see type docs).
+    pub(crate) fn write_sig(&self, h: &mut SigHasher) {
+        h.write_u64(u64::from(self.prune));
+        h.write_u64(self.split_parts as u64);
+    }
+}
+
+/// A workload *specification* — the recipe for a [`LogicalPlan`], kept
+/// symbolic so requests stay hashable and serializable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec {
+    /// The paper's running example: map/flatmap/reduce word count.
+    WordCount {
+        /// Input tuple count.
+        scale: f64,
+    },
+    /// TPC-H Q3 join tree.
+    TpchQ3 {
+        /// Scale in tuples of the largest input.
+        scale: f64,
+    },
+    /// Linear pipeline of `ops` operators.
+    Pipeline {
+        /// Operator count (2..=128).
+        ops: usize,
+        /// Input tuple count.
+        scale: f64,
+    },
+    /// Random connected DAG, reproducible from `seed`.
+    RandomDag {
+        /// RNG seed for the DAG shape.
+        seed: u64,
+        /// Operator count (2..=128).
+        ops: usize,
+        /// Extra-edge probability in `[0, 1]`.
+        density: f64,
+    },
+}
+
+/// Operator-count bounds for the parameterized workload shapes; keeps
+/// service requests from building degenerate or exponential plans.
+const MIN_OPS: usize = 2;
+const MAX_OPS: usize = 128;
+
+impl WorkloadSpec {
+    /// Human-readable workload label used in responses and artifacts,
+    /// e.g. `wordcount(1e7)` or `random_dag(seed=7,ops=24,density=0.30)`.
+    pub fn name(&self) -> String {
+        match *self {
+            WorkloadSpec::WordCount { scale } => format!("wordcount({scale:e})"),
+            WorkloadSpec::TpchQ3 { scale } => format!("tpch_q3({scale:e})"),
+            WorkloadSpec::Pipeline { ops, scale } => format!("pipeline(ops={ops},{scale:e})"),
+            WorkloadSpec::RandomDag { seed, ops, density } => {
+                format!("random_dag(seed={seed},ops={ops},density={density:.2})")
+            }
+        }
+    }
+
+    /// Validate the spec and build its [`LogicalPlan`]. Every constraint a
+    /// plan constructor would `assert!` is checked here first and surfaced
+    /// as a typed [`ServiceError`] — the service never panics on bad input.
+    pub fn build(&self) -> Result<LogicalPlan, ServiceError> {
+        match *self {
+            WorkloadSpec::WordCount { scale } => {
+                check_scale(scale)?;
+                Ok(workloads::wordcount(scale))
+            }
+            WorkloadSpec::TpchQ3 { scale } => {
+                check_scale(scale)?;
+                Ok(workloads::tpch_q3(scale))
+            }
+            WorkloadSpec::Pipeline { ops, scale } => {
+                check_scale(scale)?;
+                check_ops(ops)?;
+                Ok(workloads::synthetic_pipeline(ops, scale))
+            }
+            WorkloadSpec::RandomDag { seed, ops, density } => {
+                check_ops(ops)?;
+                if !(0.0..=1.0).contains(&density) {
+                    return Err(ServiceError::InvalidRequest(format!(
+                        "random_dag density {density} outside [0, 1]"
+                    )));
+                }
+                let mut rng = SplitMix64::new(seed);
+                Ok(workloads::random_connected_dag(&mut rng, ops, density))
+            }
+        }
+    }
+
+    /// Fold the spec into a signature hasher. A leading per-variant tag
+    /// keeps e.g. `WordCount{1e7}` and `TpchQ3{1e7}` distinct.
+    pub(crate) fn write_sig(&self, h: &mut SigHasher) {
+        match *self {
+            WorkloadSpec::WordCount { scale } => {
+                h.write_u64(1);
+                h.write_f64_bits(scale);
+            }
+            WorkloadSpec::TpchQ3 { scale } => {
+                h.write_u64(2);
+                h.write_f64_bits(scale);
+            }
+            WorkloadSpec::Pipeline { ops, scale } => {
+                h.write_u64(3);
+                h.write_u64(ops as u64);
+                h.write_f64_bits(scale);
+            }
+            WorkloadSpec::RandomDag { seed, ops, density } => {
+                h.write_u64(4);
+                h.write_u64(seed);
+                h.write_u64(ops as u64);
+                h.write_f64_bits(density);
+            }
+        }
+    }
+}
+
+fn check_scale(scale: f64) -> Result<(), ServiceError> {
+    if scale.is_finite() && scale > 0.0 && scale <= 1e15 {
+        Ok(())
+    } else {
+        Err(ServiceError::InvalidRequest(format!(
+            "workload scale {scale} outside (0, 1e15]"
+        )))
+    }
+}
+
+fn check_ops(ops: usize) -> Result<(), ServiceError> {
+    if (MIN_OPS..=MAX_OPS).contains(&ops) {
+        Ok(())
+    } else {
+        Err(ServiceError::InvalidRequest(format!(
+            "operator count {ops} outside [{MIN_OPS}, {MAX_OPS}]"
+        )))
+    }
+}
+
+/// Optimize one workload under a policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeRequest {
+    /// What to optimize.
+    pub workload: WorkloadSpec,
+    /// How to run the enumeration.
+    pub policy: ExecutionPolicy,
+}
+
+impl OptimizeRequest {
+    /// Request with the default [`ExecutionPolicy`].
+    pub fn new(workload: WorkloadSpec) -> Self {
+        OptimizeRequest {
+            workload,
+            policy: ExecutionPolicy::default(),
+        }
+    }
+
+    /// Override the execution policy.
+    pub fn with_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The plan-signature cache key: a pure function of the workload spec
+    /// and the result-affecting policy fields, built on the same mixing
+    /// primitive as Def-2 footprint hashing ([`SigHasher`]).
+    pub fn signature(&self) -> u64 {
+        let mut h = SigHasher::new();
+        self.workload.write_sig(&mut h);
+        self.policy.write_sig(&mut h);
+        h.finish()
+    }
+}
+
+/// The optimized plan for one [`OptimizeRequest`].
+///
+/// `PartialEq` compares `cost` by bit pattern, so `==` *is* the
+/// bit-identity the cache contract promises ("a cached response equals the
+/// cold response"), not an epsilon comparison.
+#[derive(Debug, Clone)]
+pub struct OptimizeResponse {
+    /// Workload label ([`WorkloadSpec::name`]).
+    pub workload: String,
+    /// The request's plan signature (also the cache key).
+    pub signature: u64,
+    /// Chosen platform per operator, in op-id order, as registry names.
+    pub assignments: Vec<String>,
+    /// Number of distinct platforms in the winning plan.
+    pub distinct_platforms: usize,
+    /// Canonical re-cost of the winning assignment under the active oracle.
+    pub cost: f64,
+    /// Enumeration counters (invariant across worker counts).
+    pub stats: EnumStats,
+}
+
+impl PartialEq for OptimizeResponse {
+    fn eq(&self, other: &Self) -> bool {
+        self.workload == other.workload
+            && self.signature == other.signature
+            && self.assignments == other.assignments
+            && self.distinct_platforms == other.distinct_platforms
+            && self.cost.to_bits() == other.cost.to_bits()
+            && self.stats == other.stats
+    }
+}
+
+/// Where training rows come from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrainSource {
+    /// Direct labelling: one simulator call per row.
+    Simulator {
+        /// Simulator seed.
+        seed: u64,
+        /// Multiplicative noise amplitude in `[0, 1)`.
+        noise: f64,
+    },
+    /// TDGEN interpolated generation (many rows per simulator call).
+    Tdgen {
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// Train a random forest and install it as the facade's cost oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainRequest {
+    /// Training-row source.
+    pub source: TrainSource,
+    /// Number of labelled rows to draw.
+    pub rows: usize,
+    /// Trees in the forest.
+    pub n_trees: usize,
+    /// Forest master seed.
+    pub forest_seed: u64,
+}
+
+impl TrainRequest {
+    /// Defaults matching the ml-crate test setup: simulator source
+    /// (seed 41, 5 % noise), 24 trees, the forest's default seed.
+    pub fn new(rows: usize) -> Self {
+        TrainRequest {
+            source: TrainSource::Simulator {
+                seed: 41,
+                noise: 0.05,
+            },
+            rows,
+            n_trees: 24,
+            forest_seed: 0x0b5e_55ed,
+        }
+    }
+}
+
+/// Outcome of a [`TrainRequest`]: the model is now the active oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainResponse {
+    /// Rows actually trained on.
+    pub rows: usize,
+    /// Trees fitted.
+    pub n_trees: usize,
+    /// Feature width of the installed model.
+    pub width: usize,
+    /// Mean squared error on the training rows (fit sanity, not accuracy).
+    pub train_mse: f64,
+}
+
+/// Simulate a workload under an explicit (or optimized) assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateRequest {
+    /// What to run.
+    pub workload: WorkloadSpec,
+    /// Platform name per operator; empty means "optimize first, then
+    /// simulate the winning assignment".
+    pub assignments: Vec<String>,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Simulator noise amplitude in `[0, 1)`.
+    pub noise: f64,
+}
+
+/// Simulated runtime for one assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateResponse {
+    /// Workload label.
+    pub workload: String,
+    /// The assignment that was simulated (resolved names).
+    pub assignments: Vec<String>,
+    /// Simulated wall seconds (`infinite` ⇒ infeasible, see `feasible`).
+    pub seconds: f64,
+    /// Whether the assignment was executable (finite runtime).
+    pub feasible: bool,
+}
+
+/// Optimize a workload, then pit the mixed-platform winner against every
+/// single-platform execution (the Fig-2 experiment as a service verb).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareRequest {
+    /// What to compare.
+    pub workload: WorkloadSpec,
+    /// Enumeration policy for the mixed optimization.
+    pub policy: ExecutionPolicy,
+    /// Seed for the runtime simulation of every plan.
+    pub sim_seed: u64,
+}
+
+/// One single-platform contender in a [`CompareResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinglePlatformPlan {
+    /// Platform name.
+    pub platform: String,
+    /// Oracle cost, or `None` if the platform cannot run the whole plan.
+    pub cost: Option<f64>,
+    /// Simulated seconds, or `None` if infeasible.
+    pub sim_seconds: Option<f64>,
+}
+
+/// Mixed-vs-single-platform comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareResponse {
+    /// Workload label.
+    pub workload: String,
+    /// The mixed-platform optimum.
+    pub mixed: OptimizeResponse,
+    /// Platform mix of the winner, e.g. `flink:3+postgres:2`.
+    pub mix: String,
+    /// Simulated seconds of the mixed plan.
+    pub mixed_sim_seconds: f64,
+    /// Every single-platform contender, in registry order.
+    pub singles: Vec<SinglePlatformPlan>,
+    /// Cheapest feasible single-platform oracle cost, if any.
+    pub best_single_cost: Option<f64>,
+    /// Whether the mixed plan strictly beats every single platform.
+    pub mixed_wins: bool,
+}
+
+/// Service telemetry snapshot (the `stats` wire verb).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsResponse {
+    /// Requests served since construction.
+    pub requests: u64,
+    /// Plan-signature cache counters.
+    pub cache: CacheStats,
+    /// Cumulative wall-clock telemetry in microseconds. Reported only —
+    /// never feeds optimization, caching, or any other response field.
+    pub total_micros: u64,
+}
+
+/// Every way a service request can fail. The facade returns these instead
+/// of panicking; the wire layer renders them as `{"ok":false,...}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Request parameters outside their documented domain.
+    InvalidRequest(String),
+    /// An assignment named a platform the registry does not have.
+    UnknownPlatform(String),
+    /// An explicit assignment's length does not match the plan.
+    AssignmentLength {
+        /// Operators in the plan.
+        expected: usize,
+        /// Names supplied.
+        got: usize,
+    },
+    /// A model could not be installed (wrong width, failed validation).
+    BadModel(String),
+    /// A wire-level request could not be parsed.
+    Parse(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServiceError::UnknownPlatform(name) => write!(f, "unknown platform: {name}"),
+            ServiceError::AssignmentLength { expected, got } => {
+                write!(
+                    f,
+                    "assignment length {got} != plan operator count {expected}"
+                )
+            }
+            ServiceError::BadModel(msg) => write!(f, "bad model: {msg}"),
+            ServiceError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_ignores_workers_and_clamp_but_not_prune_or_split() {
+        let base = OptimizeRequest::new(WorkloadSpec::WordCount { scale: 1e7 });
+        let sig = base.signature();
+        let workers = base.with_policy(ExecutionPolicy::default().with_workers(8));
+        let clamp = base.with_policy(ExecutionPolicy::default().with_hardware_clamp(false));
+        assert_eq!(sig, workers.signature(), "workers must not change the key");
+        assert_eq!(sig, clamp.signature(), "clamp must not change the key");
+        let noprune = base.with_policy(ExecutionPolicy::default().with_prune(false));
+        let resplit = base.with_policy(ExecutionPolicy::default().with_split_parts(3));
+        assert_ne!(sig, noprune.signature(), "prune is part of the key");
+        assert_ne!(sig, resplit.signature(), "split_parts is part of the key");
+    }
+
+    #[test]
+    fn signature_distinguishes_workloads_sharing_field_values() {
+        let wc = OptimizeRequest::new(WorkloadSpec::WordCount { scale: 1e6 });
+        let q3 = OptimizeRequest::new(WorkloadSpec::TpchQ3 { scale: 1e6 });
+        assert_ne!(wc.signature(), q3.signature());
+        let a = OptimizeRequest::new(WorkloadSpec::Pipeline { ops: 8, scale: 1e5 });
+        let b = OptimizeRequest::new(WorkloadSpec::Pipeline { ops: 9, scale: 1e5 });
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn workload_specs_validate_before_building() {
+        assert!(WorkloadSpec::WordCount { scale: 1e7 }.build().is_ok());
+        assert!(WorkloadSpec::WordCount { scale: 0.0 }.build().is_err());
+        assert!(WorkloadSpec::WordCount { scale: f64::NAN }.build().is_err());
+        assert!(WorkloadSpec::Pipeline { ops: 1, scale: 1e5 }
+            .build()
+            .is_err());
+        assert!(WorkloadSpec::Pipeline {
+            ops: 999,
+            scale: 1e5
+        }
+        .build()
+        .is_err());
+        assert!(WorkloadSpec::RandomDag {
+            seed: 7,
+            ops: 24,
+            density: 1.5
+        }
+        .build()
+        .is_err());
+        assert!(WorkloadSpec::RandomDag {
+            seed: 7,
+            ops: 24,
+            density: 0.3
+        }
+        .build()
+        .is_ok());
+    }
+
+    #[test]
+    fn optimize_response_equality_is_bitwise_on_cost() {
+        let mk = |cost: f64| OptimizeResponse {
+            workload: "w".to_string(),
+            signature: 1,
+            assignments: vec!["p".to_string()],
+            distinct_platforms: 1,
+            cost,
+            stats: EnumStats::default(),
+        };
+        assert_eq!(mk(1.5), mk(1.5));
+        assert_ne!(mk(0.0), mk(-0.0), "0.0 and -0.0 differ bitwise");
+    }
+}

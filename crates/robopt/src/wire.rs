@@ -1,0 +1,412 @@
+//! Line-delimited wire protocol for `robopt serve` (DESIGN §10).
+//!
+//! One JSON object per line in, one per line out. Requests name a verb via
+//! `"op"`; responses always carry `"ok"` plus `"kind"` echoing the verb.
+//! Rendering is hand-rolled and deterministic: fields appear in struct
+//! declaration order, `f64`s use Rust's shortest-round-trip formatting
+//! (which `crate::json` parses back to the same bits), and `cost` is
+//! additionally mirrored as a `cost_bits` integer so bit-identity survives
+//! any JSON intermediary.
+//!
+//! The `response-serialize-total` lint rule checks this module: every
+//! public field of every `*Response` type must appear as a quoted key in
+//! some renderer here, so a field added to the API cannot silently vanish
+//! from the wire.
+
+use crate::api::{
+    CompareRequest, CompareResponse, ExecutionPolicy, OptimizeRequest, OptimizeResponse,
+    ServiceError, SimulateRequest, SimulateResponse, StatsResponse, TrainRequest, TrainResponse,
+    TrainSource, WorkloadSpec,
+};
+use crate::json::{self, escape_into, JsonValue};
+
+/// A parsed service request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `{"op":"optimize", "workload":{...}, "policy":{...}}`
+    Optimize(OptimizeRequest),
+    /// `{"op":"train", ...}`
+    Train(TrainRequest),
+    /// `{"op":"simulate", ...}`
+    Simulate(SimulateRequest),
+    /// `{"op":"compare", ...}`
+    Compare(CompareRequest),
+    /// `{"op":"stats"}`
+    Stats,
+    /// `{"op":"quit"}` — ends a serve session.
+    Quit,
+}
+
+/// A response ready for rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Optimization result.
+    Optimize(OptimizeResponse),
+    /// Training result.
+    Train(TrainResponse),
+    /// Simulation result.
+    Simulate(SimulateResponse),
+    /// Comparison result.
+    Compare(CompareResponse),
+    /// Telemetry snapshot.
+    Stats(StatsResponse),
+    /// Any failure.
+    Error(ServiceError),
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
+    let doc = json::parse(line).map_err(|e| ServiceError::Parse(e.to_string()))?;
+    let op = doc
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ServiceError::Parse("missing \"op\" field".to_string()))?;
+    match op {
+        "optimize" => Ok(Request::Optimize(OptimizeRequest {
+            workload: parse_workload(&doc)?,
+            policy: parse_policy(&doc),
+        })),
+        "train" => {
+            let defaults = TrainRequest::new(field_usize(&doc, "rows").unwrap_or(512));
+            let source = match doc.get("source").and_then(JsonValue::as_str) {
+                None | Some("simulator") => TrainSource::Simulator {
+                    seed: field_u64(&doc, "seed").unwrap_or(41),
+                    noise: field_f64(&doc, "noise").unwrap_or(0.05),
+                },
+                Some("tdgen") => TrainSource::Tdgen {
+                    seed: field_u64(&doc, "seed").unwrap_or(41),
+                },
+                Some(other) => {
+                    return Err(ServiceError::Parse(format!(
+                        "unknown training source {other:?}"
+                    )))
+                }
+            };
+            Ok(Request::Train(TrainRequest {
+                source,
+                rows: defaults.rows,
+                n_trees: field_usize(&doc, "n_trees").unwrap_or(defaults.n_trees),
+                forest_seed: field_u64(&doc, "forest_seed").unwrap_or(defaults.forest_seed),
+            }))
+        }
+        "simulate" => Ok(Request::Simulate(SimulateRequest {
+            workload: parse_workload(&doc)?,
+            assignments: doc
+                .get("assignments")
+                .and_then(JsonValue::as_arr)
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(|v| v.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            seed: field_u64(&doc, "seed").unwrap_or(42),
+            noise: field_f64(&doc, "noise").unwrap_or(0.0),
+        })),
+        "compare" => Ok(Request::Compare(CompareRequest {
+            workload: parse_workload(&doc)?,
+            policy: parse_policy(&doc),
+            sim_seed: field_u64(&doc, "sim_seed").unwrap_or(42),
+        })),
+        "stats" => Ok(Request::Stats),
+        "quit" => Ok(Request::Quit),
+        other => Err(ServiceError::Parse(format!("unknown op {other:?}"))),
+    }
+}
+
+/// Render one response as a single JSON line (no trailing newline).
+pub fn render_response(resp: &Response) -> String {
+    match resp {
+        Response::Optimize(r) => {
+            let mut s = String::from("{\"ok\":true,\"kind\":\"optimize\",");
+            push_optimize_fields(&mut s, r);
+            s.push('}');
+            s
+        }
+        Response::Train(r) => format!(
+            "{{\"ok\":true,\"kind\":\"train\",\"rows\":{},\"n_trees\":{},\"width\":{},\
+             \"train_mse\":{}}}",
+            r.rows,
+            r.n_trees,
+            r.width,
+            num(r.train_mse)
+        ),
+        Response::Simulate(r) => {
+            let mut s = String::from("{\"ok\":true,\"kind\":\"simulate\",\"workload\":");
+            push_str_value(&mut s, &r.workload);
+            s.push_str(",\"assignments\":");
+            push_str_array(&mut s, &r.assignments);
+            s.push_str(&format!(
+                ",\"seconds\":{},\"feasible\":{}}}",
+                num(r.seconds),
+                r.feasible
+            ));
+            s
+        }
+        Response::Compare(r) => {
+            let mut s = String::from("{\"ok\":true,\"kind\":\"compare\",\"workload\":");
+            push_str_value(&mut s, &r.workload);
+            s.push_str(",\"mixed\":{");
+            push_optimize_fields(&mut s, &r.mixed);
+            s.push_str("},\"mix\":");
+            push_str_value(&mut s, &r.mix);
+            s.push_str(&format!(
+                ",\"mixed_sim_seconds\":{}",
+                num(r.mixed_sim_seconds)
+            ));
+            s.push_str(",\"singles\":[");
+            for (i, single) in r.singles.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str("{\"platform\":");
+                push_str_value(&mut s, &single.platform);
+                s.push_str(&format!(
+                    ",\"cost\":{},\"sim_seconds\":{}}}",
+                    opt_num(single.cost),
+                    opt_num(single.sim_seconds)
+                ));
+            }
+            s.push_str(&format!(
+                "],\"best_single_cost\":{},\"mixed_wins\":{}}}",
+                opt_num(r.best_single_cost),
+                r.mixed_wins
+            ));
+            s
+        }
+        Response::Stats(r) => format!(
+            "{{\"ok\":true,\"kind\":\"stats\",\"requests\":{},\"cache\":{{\
+             \"hits\":{},\"misses\":{},\"evictions\":{},\"insertions\":{},\
+             \"len\":{},\"capacity\":{},\"hit_rate\":{}}},\"total_micros\":{}}}",
+            r.requests,
+            r.cache.hits,
+            r.cache.misses,
+            r.cache.evictions,
+            r.cache.insertions,
+            r.cache.len,
+            r.cache.capacity,
+            num(r.cache.hit_rate()),
+            r.total_micros
+        ),
+        Response::Error(e) => {
+            let mut s = String::from("{\"ok\":false,\"error\":");
+            push_str_value(&mut s, &e.to_string());
+            s.push('}');
+            s
+        }
+    }
+}
+
+/// The shared body of an optimize response (also nested in `compare`).
+/// `cost` is mirrored as `cost_bits` so consumers that must preserve
+/// bit-identity never depend on decimal formatting.
+fn push_optimize_fields(s: &mut String, r: &OptimizeResponse) {
+    s.push_str("\"workload\":");
+    push_str_value(s, &r.workload);
+    s.push_str(&format!(",\"signature\":{}", r.signature));
+    s.push_str(",\"assignments\":");
+    push_str_array(s, &r.assignments);
+    s.push_str(&format!(
+        ",\"distinct_platforms\":{},\"cost\":{},\"cost_bits\":{},\"stats\":{{\
+         \"generated\":{},\"kept\":{},\"merges\":{},\"peak_rows\":{}}}",
+        r.distinct_platforms,
+        num(r.cost),
+        r.cost.to_bits(),
+        r.stats.generated,
+        r.stats.kept,
+        r.stats.merges,
+        r.stats.peak_rows
+    ));
+}
+
+/// Shortest-round-trip JSON number for a finite `f64`, `null` otherwise.
+/// Rust's `{:?}` float formatting is guaranteed to re-parse to the same
+/// bits, so finite values survive the wire exactly.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v:?}");
+        // `{:?}` may omit the exponent form JSON requires nothing of, but
+        // always yields a valid JSON number for finite values.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+fn opt_num(v: Option<f64>) -> String {
+    match v {
+        Some(x) => num(x),
+        None => "null".to_string(),
+    }
+}
+
+fn push_str_value(s: &mut String, text: &str) {
+    s.push('"');
+    escape_into(s, text);
+    s.push('"');
+}
+
+fn push_str_array(s: &mut String, items: &[String]) {
+    s.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_str_value(s, item);
+    }
+    s.push(']');
+}
+
+fn parse_workload(doc: &JsonValue) -> Result<WorkloadSpec, ServiceError> {
+    let w = doc
+        .get("workload")
+        .ok_or_else(|| ServiceError::Parse("missing \"workload\" object".to_string()))?;
+    let kind = w
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ServiceError::Parse("workload missing \"kind\"".to_string()))?;
+    match kind {
+        "wordcount" => Ok(WorkloadSpec::WordCount {
+            scale: field_f64(w, "scale").unwrap_or(1e7),
+        }),
+        "tpch_q3" => Ok(WorkloadSpec::TpchQ3 {
+            scale: field_f64(w, "scale").unwrap_or(1e6),
+        }),
+        "pipeline" => Ok(WorkloadSpec::Pipeline {
+            ops: field_usize(w, "ops").unwrap_or(16),
+            scale: field_f64(w, "scale").unwrap_or(1e5),
+        }),
+        "random_dag" => Ok(WorkloadSpec::RandomDag {
+            seed: field_u64(w, "seed").unwrap_or(1),
+            ops: field_usize(w, "ops").unwrap_or(16),
+            density: field_f64(w, "density").unwrap_or(0.3),
+        }),
+        other => Err(ServiceError::Parse(format!(
+            "unknown workload kind {other:?}"
+        ))),
+    }
+}
+
+fn parse_policy(doc: &JsonValue) -> ExecutionPolicy {
+    let mut policy = ExecutionPolicy::default();
+    if let Some(p) = doc.get("policy") {
+        if let Some(workers) = field_usize(p, "workers") {
+            policy = policy.with_workers(workers);
+        }
+        if let Some(parts) = field_usize(p, "split_parts") {
+            policy = policy.with_split_parts(parts);
+        }
+        if let Some(prune) = p.get("prune").and_then(JsonValue::as_bool) {
+            policy = policy.with_prune(prune);
+        }
+        if let Some(clamp) = p.get("hardware_clamp").and_then(JsonValue::as_bool) {
+            policy = policy.with_hardware_clamp(clamp);
+        }
+    }
+    policy
+}
+
+fn field_f64(v: &JsonValue, key: &str) -> Option<f64> {
+    v.get(key).and_then(JsonValue::as_f64)
+}
+
+fn field_u64(v: &JsonValue, key: &str) -> Option<u64> {
+    v.get(key).and_then(JsonValue::as_u64)
+}
+
+fn field_usize(v: &JsonValue, key: &str) -> Option<usize> {
+    v.get(key).and_then(JsonValue::as_usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimize_request_round_trips_through_the_wire() {
+        let req = parse_request(
+            r#"{"op":"optimize","workload":{"kind":"wordcount","scale":1e7},"policy":{"workers":4,"split_parts":8,"prune":true}}"#,
+        )
+        .expect("parse");
+        assert_eq!(
+            req,
+            Request::Optimize(OptimizeRequest {
+                workload: WorkloadSpec::WordCount { scale: 1e7 },
+                policy: ExecutionPolicy::default()
+                    .with_workers(4)
+                    .with_split_parts(8),
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_requests_yield_parse_errors() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"op":"warp"}"#,
+            r#"{"op":"optimize"}"#,
+            r#"{"op":"optimize","workload":{"kind":"mystery"}}"#,
+            r#"{"op":"train","source":"oracle"}"#,
+        ] {
+            assert!(
+                matches!(parse_request(bad), Err(ServiceError::Parse(_))),
+                "{bad:?} should be a parse error"
+            );
+        }
+    }
+
+    #[test]
+    fn rendered_responses_are_valid_json_and_carry_cost_bits() {
+        let resp = Response::Optimize(OptimizeResponse {
+            workload: "wordcount(1e7)".to_string(),
+            signature: 123,
+            assignments: vec!["java".to_string(), "spark".to_string()],
+            distinct_platforms: 2,
+            cost: 0.1 + 0.2,
+            stats: Default::default(),
+        });
+        let line = render_response(&resp);
+        let doc = crate::json::parse(&line).expect("renderer must emit valid JSON");
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+        let bits = doc
+            .get("cost_bits")
+            .and_then(JsonValue::as_u64)
+            .expect("cost_bits");
+        assert_eq!(bits, (0.1f64 + 0.2).to_bits(), "bit-exact cost transport");
+        let cost = doc.get("cost").and_then(JsonValue::as_f64).expect("cost");
+        assert_eq!(cost.to_bits(), bits, "shortest-round-trip decimal agrees");
+    }
+
+    #[test]
+    fn error_rendering_escapes_the_message() {
+        let line = render_response(&Response::Error(ServiceError::Parse(
+            "quote \" and \\ backslash".to_string(),
+        )));
+        let doc = crate::json::parse(&line).expect("valid JSON");
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(false));
+        assert!(doc
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .is_some_and(|s| s.contains('"')));
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        let resp = Response::Simulate(SimulateResponse {
+            workload: "w".to_string(),
+            assignments: vec![],
+            seconds: f64::INFINITY,
+            feasible: false,
+        });
+        let line = render_response(&resp);
+        let doc = crate::json::parse(&line).expect("valid JSON");
+        assert_eq!(doc.get("seconds"), Some(&JsonValue::Null));
+        assert_eq!(
+            doc.get("feasible").and_then(JsonValue::as_bool),
+            Some(false)
+        );
+    }
+}

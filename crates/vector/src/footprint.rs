@@ -82,6 +82,55 @@ pub fn footprint_hash(boundary_ops: &[u32], assign: &[u8]) -> u64 {
     h
 }
 
+/// Incremental plan-signature hasher over the footprint mixer.
+///
+/// The service layer's memoization cache keys requests by a `u64`
+/// signature; deriving it here keeps the key construction on the same
+/// SplitMix-style mixer (and the same avalanche guarantees) as
+/// [`footprint_hash`], so cache keys and pruning footprints share one
+/// hashing discipline. Feed words with [`SigHasher::write_u64`] /
+/// [`SigHasher::write_f64_bits`] — `f64` inputs hash by bit pattern, so
+/// two requests collide only when they are bit-identical — and take the
+/// finalized key with [`SigHasher::finish`]. Pure function of the write
+/// sequence: no per-process seed, no addresses, no time.
+#[derive(Debug, Clone)]
+pub struct SigHasher {
+    h: u64,
+}
+
+impl Default for SigHasher {
+    fn default() -> Self {
+        SigHasher::new()
+    }
+}
+
+impl SigHasher {
+    pub fn new() -> Self {
+        SigHasher {
+            h: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Absorb one word. Same combine step as [`footprint_hash`].
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.h = mix(self.h ^ v).rotate_left(17) ^ self.h;
+    }
+
+    /// Absorb an `f64` by bit pattern (`-0.0` and `0.0` hash differently;
+    /// every NaN payload is its own value — bit-identity is the contract).
+    #[inline]
+    pub fn write_f64_bits(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Finalized signature for everything written so far.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        mix(self.h)
+    }
+}
+
 /// A deterministic `u64 -> u32` map for pruning footprints.
 ///
 /// Open addressing (linear probing) over a power-of-two slot table keyed by
@@ -292,6 +341,35 @@ mod tests {
         t.insert(5, 1);
         assert_eq!(t.get(5), Some(1));
         assert_eq!(t.iter().collect::<Vec<_>>(), vec![(5, 1)]);
+    }
+
+    #[test]
+    fn sig_hasher_is_deterministic_and_order_sensitive() {
+        let mut a = SigHasher::new();
+        let mut b = SigHasher::new();
+        for v in [1u64, 2, 3] {
+            a.write_u64(v);
+            b.write_u64(v);
+        }
+        assert_eq!(a.finish(), b.finish(), "same writes, same signature");
+
+        let mut rev = SigHasher::new();
+        for v in [3u64, 2, 1] {
+            rev.write_u64(v);
+        }
+        assert_ne!(a.finish(), rev.finish(), "write order must matter");
+
+        // f64 inputs hash by bit pattern: 0.0 and -0.0 are distinct keys.
+        let mut pos = SigHasher::new();
+        pos.write_f64_bits(0.0);
+        let mut neg = SigHasher::new();
+        neg.write_f64_bits(-0.0);
+        assert_ne!(pos.finish(), neg.finish());
+
+        // Empty-prefix sensitivity: writing a zero word changes the key.
+        let mut zero = SigHasher::new();
+        zero.write_u64(0);
+        assert_ne!(zero.finish(), SigHasher::new().finish());
     }
 
     #[test]

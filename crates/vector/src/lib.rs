@@ -21,6 +21,6 @@ pub mod layout;
 pub mod matrix;
 pub mod merge;
 
-pub use footprint::{footprint_hash, FootprintTable, Scope};
+pub use footprint::{footprint_hash, FootprintTable, Scope, SigHasher};
 pub use layout::FeatureLayout;
 pub use matrix::{alloc_events, EnumMatrix, RowsView, NO_PLATFORM};

@@ -27,11 +27,17 @@
 //!   seeded job-shape templates, β-bounded platform-switch pruning, and
 //!   piecewise degree-5 log-log runtime interpolation so most labels are
 //!   synthesized rather than simulated;
-//! * [`robopt_engine`], [`robopt_cli`] — stubs landing in later PRs.
+//! * [`robopt`] (re-exported as [`service`]) — the optimizer-as-a-service
+//!   facade: request/response API, plan-signature cache, forest
+//!   persistence, and the wire protocol the `robopt` binary speaks;
+//! * [`robopt_cli`] — the `robopt` binary: `serve` daemon plus one-shot
+//!   `optimize` / `train` / `simulate` / `compare` subcommands;
+//! * [`robopt_engine`] — stub landing in a later PR.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
+pub use robopt as service;
 pub use robopt_baselines as baselines;
 pub use robopt_cli as cli;
 pub use robopt_core as core;
@@ -44,6 +50,9 @@ pub use robopt_vector as vector;
 
 /// Convenience prelude for examples and tests.
 pub mod prelude {
+    pub use robopt::{
+        ExecutionPolicy, OptimizeRequest, OptimizeResponse, Optimizer, ServiceError, WorkloadSpec,
+    };
     pub use robopt_core::{
         uniform_oracle, AnalyticOracle, CostOracle, EnumOptions, EnumStats, Enumerator,
     };

@@ -1,21 +1,26 @@
 //! Cross-process determinism: a seeded run is a pure function of the seed.
 //!
-//! The FootprintTable migration (this PR) removed the last per-process
-//! randomness from the enumeration path — std's `HashMap` seeds its hasher
-//! per process, so footprint-merge *visit order* (and thus any
-//! tie-breaking, stats, and buffer growth pattern) could differ between
-//! two runs of the same binary. This test re-executes itself in two child
-//! processes and asserts the digest of everything observable — chosen
-//! assignments, cost bits, enumeration stats, object-baseline costs, and
-//! seeded forest predictions — is byte-identical across processes, and
-//! matches the in-process digest.
+//! The enumeration path holds no per-process randomness (the
+//! FootprintTable migration removed the last `HashMap` visit-order
+//! dependence), so the digest of everything observable through the
+//! service facade — chosen assignments, cost bits, enumeration stats,
+//! object-baseline costs, and seeded forest predictions — must be
+//! byte-identical across two child processes of the same binary, and
+//! match the in-process digest.
+//!
+//! The digest is computed through [`robopt::Optimizer`] requests (ISSUE 7:
+//! raw `EnumOptions` wiring stays inside `robopt_core`), and every case is
+//! answered three times — cache-on cold, cache-on hit, cache-off
+//! recompute — with all three responses asserted bit-identical before
+//! they feed the digest: memoization must never be observable in the
+//! bytes, only in the latency.
 
 use std::process::Command;
 
+use robopt::{ExecutionPolicy, OptimizeRequest, Optimizer, WorkloadSpec};
 use robopt_baselines::ObjectEnumerator;
-use robopt_core::{AnalyticOracle, EnumOptions, Enumerator, ParallelEnumerator, SplitOptions};
 use robopt_ml::{simulator_training_set, ForestConfig, RandomForest, SamplerConfig};
-use robopt_plan::{workloads, SplitMix64, N_OPERATOR_KINDS};
+use robopt_plan::{SplitMix64, N_OPERATOR_KINDS};
 use robopt_platforms::PlatformRegistry;
 use robopt_vector::FeatureLayout;
 
@@ -25,56 +30,76 @@ fn mix(h: &mut u64, v: u64) {
     *h = (*h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(27);
 }
 
+fn mix_response(h: &mut u64, resp: &robopt::OptimizeResponse) {
+    for name in &resp.assignments {
+        for b in name.bytes() {
+            mix(h, b as u64);
+        }
+    }
+    mix(h, resp.signature);
+    mix(h, resp.cost.to_bits());
+    mix(h, resp.stats.generated);
+    mix(h, resp.stats.kept);
+    mix(h, resp.stats.merges);
+    mix(h, resp.stats.peak_rows);
+}
+
 /// Digest every observable output of a fixed-seed optimizer run.
 fn seeded_run_digest() -> u64 {
     let mut h = 0xD1657_u64;
 
-    // Vectorized + object-graph enumeration over random connected DAGs.
+    // Facade enumeration over random connected DAGs: serial (one split
+    // part), split-parallel (clamp off: real scoped threads even on a
+    // single-core host), and the object-graph baseline via the raw-options
+    // escape hatch.
     let mut rng = SplitMix64::new(0xDE7E_4213);
-    let mut vector_enum = Enumerator::new();
     let mut object_enum = ObjectEnumerator::new();
-    // Clamp off so the digest covers real scoped-thread scheduling even on
-    // a single-core host — the split contract says results are
-    // thread-count-independent, so the digest must be too.
-    let mut parallel_enum = ParallelEnumerator::new(2)
-        .with_split(SplitOptions::new(3))
-        .with_hardware_clamp(false);
     for _ in 0..12 {
         let n = 3 + rng.gen_range(6); // 3..=8 operators
         let k = 2 + rng.gen_range(3); // 2..=4 platforms
-        let plan = workloads::random_connected_dag(&mut rng, n, 0.4);
-        let registry = PlatformRegistry::uniform(k);
-        let layout = FeatureLayout::new(k, N_OPERATOR_KINDS);
-        let oracle = AnalyticOracle::for_registry(&registry, &layout);
-        let opts = EnumOptions::new(&registry).with_oracle(&oracle);
+        let spec = WorkloadSpec::RandomDag {
+            seed: rng.next_u64(),
+            ops: n,
+            density: 0.4,
+        };
+        let serial_req = OptimizeRequest::new(spec).with_policy(
+            ExecutionPolicy::default()
+                .with_workers(1)
+                .with_split_parts(1),
+        );
+        let par_req = OptimizeRequest::new(spec).with_policy(
+            ExecutionPolicy::default()
+                .with_workers(2)
+                .with_split_parts(3)
+                .with_hardware_clamp(false),
+        );
 
-        let (best, stats) = vector_enum.enumerate(&plan, &layout, opts);
-        for &p in &best.raw_assignments() {
-            mix(&mut h, p as u64);
-        }
-        mix(&mut h, best.cost.to_bits());
-        mix(&mut h, stats.generated);
-        mix(&mut h, stats.kept);
-        mix(&mut h, stats.merges);
-        mix(&mut h, stats.peak_rows);
+        // Three answers per request — cold, memoized, and recomputed with
+        // the cache disabled — must be bit-identical before digesting.
+        let mut warm = Optimizer::new(PlatformRegistry::uniform(k));
+        let mut cold = Optimizer::new(PlatformRegistry::uniform(k));
+        cold.set_cache_enabled(false);
+        let best = warm.optimize(&serial_req).expect("serial optimize");
+        let hit = warm.optimize(&serial_req).expect("memoized optimize");
+        let recomputed = cold.optimize(&serial_req).expect("cache-off optimize");
+        assert_eq!(best, hit, "cache hit changed the response bytes");
+        assert_eq!(best, recomputed, "cache-off recompute diverged");
+        mix_response(&mut h, &best);
 
-        let object = object_enum.enumerate(&plan, &layout, opts);
+        // Split-parallel: same winner, same canonical cost bits as serial
+        // (merge trees differ, so EnumStats legitimately may not).
+        let par = warm.optimize(&par_req).expect("parallel optimize");
+        assert_eq!(par.assignments, best.assignments, "parallel vs serial");
+        assert_eq!(par.cost.to_bits(), best.cost.to_bits());
+        mix_response(&mut h, &par);
+
+        // Object-graph baseline through the escape hatch.
+        let plan = spec.build().expect("workload spec builds");
+        let object = object_enum.enumerate(&plan, warm.layout(), warm.enum_options());
         mix(&mut h, object.cost.to_bits());
         for &p in &object.raw_assignments() {
             mix(&mut h, p as u64);
         }
-
-        // Split-parallel enumeration: same plan, threaded part phase. The
-        // chosen assignment and canonical cost must match serial bit-for-bit
-        // (asserted here, digested below together with the split stats).
-        let (par, par_stats) = parallel_enum.enumerate(&plan, &layout, opts);
-        assert_eq!(par.assignments, best.assignments, "parallel vs serial");
-        assert_eq!(par.cost.to_bits(), best.cost.to_bits());
-        mix(&mut h, par.cost.to_bits());
-        mix(&mut h, par_stats.generated);
-        mix(&mut h, par_stats.kept);
-        mix(&mut h, par_stats.merges);
-        mix(&mut h, par_stats.peak_rows);
     }
 
     // Seeded forest training (thread-parallel bagging) + inference.

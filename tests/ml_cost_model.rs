@@ -6,17 +6,16 @@
 //!   identical predictions despite thread-parallel tree construction;
 //! * the forest beats the ridge linear baseline on held-out
 //!   simulator-labelled plans (MSE ratio < 1);
-//! * a trained forest behind `&dyn CostOracle` drives the vectorized
-//!   enumerator end-to-end, and its chosen WordCount(1e7) plan simulates
-//!   no slower than the analytic oracle's choice.
+//! * a trained forest installed behind the service facade drives the
+//!   vectorized enumerator end-to-end, and its chosen WordCount(1e7) plan
+//!   simulates no slower than the analytic oracle's choice.
 
-use robopt_core::{AnalyticOracle, CostOracle, EnumOptions, Enumerator};
+use robopt::{OptimizeRequest, Optimizer, SimulateRequest, WorkloadSpec};
 use robopt_ml::{
-    mse, simulator_training_set, ForestConfig, LinearModel, Model, ModelOracle, RandomForest,
-    SamplerConfig,
+    mse, simulator_training_set, ForestConfig, LinearModel, Model, RandomForest, SamplerConfig,
 };
-use robopt_plan::{workloads, N_OPERATOR_KINDS};
-use robopt_platforms::{PlatformRegistry, RuntimeSimulator};
+use robopt_plan::N_OPERATOR_KINDS;
+use robopt_platforms::PlatformRegistry;
 use robopt_vector::FeatureLayout;
 
 fn setup() -> (PlatformRegistry, FeatureLayout) {
@@ -137,32 +136,43 @@ fn trained_forest_behind_dyn_oracle_drives_enumeration_end_to_end() {
         train.rows_view(),
         &train.labels,
     );
-    let oracle = ModelOracle::new(forest);
-    let dyn_oracle: &dyn CostOracle = &oracle;
-    assert_eq!(dyn_oracle.width(), layout.width);
 
-    let plan = workloads::wordcount(1e7);
-    let (forest_exec, stats) = Enumerator::new().enumerate(
-        &plan,
-        &layout,
-        EnumOptions::new(&registry).with_oracle(dyn_oracle),
-    );
-    assert!(stats.generated > 0);
-    let analytic = AnalyticOracle::for_registry(&registry, &layout);
-    let (analytic_exec, _) = Enumerator::new().enumerate(
-        &plan,
-        &layout,
-        EnumOptions::new(&registry).with_oracle(&analytic),
-    );
+    // The facade accepts the forest only if its width matches the layout —
+    // Ok(()) here is the old `dyn_oracle.width() == layout.width` assert.
+    let mut forest_opt = Optimizer::named();
+    forest_opt
+        .install_forest(forest)
+        .expect("trained forest width matches the named-registry layout");
+    let mut analytic_opt = Optimizer::named();
+
+    let spec = WorkloadSpec::WordCount { scale: 1e7 };
+    let forest_resp = forest_opt
+        .optimize(&OptimizeRequest::new(spec))
+        .expect("forest-driven optimize");
+    assert!(forest_resp.stats.generated > 0);
+    let analytic_resp = analytic_opt
+        .optimize(&OptimizeRequest::new(spec))
+        .expect("analytic optimize");
 
     // Ground truth: the simulator the training labels came from (noise
     // off — both plans judged on the clean surface).
-    let sim = RuntimeSimulator::new(&registry, 42);
-    let forest_s = sim.simulate(&plan, &forest_exec.assignments);
-    let analytic_s = sim.simulate(&plan, &analytic_exec.assignments);
-    assert!(forest_s.is_finite(), "forest picked an unexecutable plan");
+    let sim_req = |assignments: &[String]| SimulateRequest {
+        workload: spec,
+        assignments: assignments.to_vec(),
+        seed: 42,
+        noise: 0.0,
+    };
+    let forest_s = forest_opt
+        .simulate(&sim_req(&forest_resp.assignments))
+        .expect("simulate forest pick");
+    let analytic_s = analytic_opt
+        .simulate(&sim_req(&analytic_resp.assignments))
+        .expect("simulate analytic pick");
+    assert!(forest_s.feasible, "forest picked an unexecutable plan");
     assert!(
-        forest_s <= analytic_s * (1.0 + 1e-9),
-        "forest-picked plan ({forest_s:.2}s) slower than analytic pick ({analytic_s:.2}s)"
+        forest_s.seconds <= analytic_s.seconds * (1.0 + 1e-9),
+        "forest-picked plan ({:.2}s) slower than analytic pick ({:.2}s)",
+        forest_s.seconds,
+        analytic_s.seconds
     );
 }

@@ -11,10 +11,11 @@
 //!   `k <= 5`;
 //! * `cost_batch` == row-wise `cost_row` on random feature matrices.
 
+use robopt::{OptimizeRequest, Optimizer, SimulateRequest, WorkloadSpec};
 use robopt_baselines::exhaustive_best;
-use robopt_core::{AnalyticOracle, CostOracle, EnumOptions, Enumerator};
-use robopt_plan::{workloads, SplitMix64, N_OPERATOR_KINDS};
-use robopt_platforms::{PlatformRegistry, RuntimeSimulator, REF_TUPLES};
+use robopt_core::{AnalyticOracle, CostOracle};
+use robopt_plan::{SplitMix64, N_OPERATOR_KINDS};
+use robopt_platforms::{PlatformRegistry, REF_TUPLES};
 use robopt_vector::{FeatureLayout, RowsView};
 
 #[test]
@@ -59,30 +60,32 @@ fn named_cot_paths_are_symmetric_and_triangle_consistent() {
 
 #[test]
 fn simulator_is_deterministic_under_a_fixed_seed() {
-    let reg = PlatformRegistry::named();
-    let plan = workloads::tpch_q3(1e6);
-    let layout = FeatureLayout::new(reg.len(), N_OPERATOR_KINDS);
-    let oracle = AnalyticOracle::for_registry(&reg, &layout);
-    let opts = EnumOptions::new(&reg).with_oracle(&oracle);
-    let (exec, _) = Enumerator::new().enumerate(&plan, &layout, opts);
+    let mut opt = Optimizer::named();
+    let spec = WorkloadSpec::TpchQ3 { scale: 1e6 };
+    let winner = opt
+        .optimize(&OptimizeRequest::new(spec))
+        .expect("optimize tpch_q3")
+        .assignments;
 
+    let sim_req = |seed: u64, noise: f64| SimulateRequest {
+        workload: spec,
+        assignments: winner.clone(),
+        seed,
+        noise,
+    };
     for noise in [0.0, 0.2] {
-        let a = RuntimeSimulator::new(&reg, 7).with_noise(noise);
-        let b = RuntimeSimulator::new(&reg, 7).with_noise(noise);
-        let (ta, tb) = (
-            a.simulate(&plan, &exec.assignments),
-            b.simulate(&plan, &exec.assignments),
+        let a = opt.simulate(&sim_req(7, noise)).expect("simulate");
+        let b = opt.simulate(&sim_req(7, noise)).expect("simulate");
+        assert!(a.feasible && a.seconds > 0.0);
+        assert_eq!(
+            a.seconds, b.seconds,
+            "same seed, same noise: simulated runtimes differ"
         );
-        assert!(ta.is_finite() && ta > 0.0);
-        assert_eq!(ta, tb, "same seed, same noise: simulated runtimes differ");
     }
     // Different seeds only matter once noise is enabled.
-    let s1 = RuntimeSimulator::new(&reg, 1).with_noise(0.2);
-    let s2 = RuntimeSimulator::new(&reg, 2).with_noise(0.2);
-    assert_ne!(
-        s1.simulate(&plan, &exec.assignments),
-        s2.simulate(&plan, &exec.assignments)
-    );
+    let s1 = opt.simulate(&sim_req(1, 0.2)).expect("simulate");
+    let s2 = opt.simulate(&sim_req(2, 0.2)).expect("simulate");
+    assert_ne!(s1.seconds, s2.seconds);
 }
 
 /// The PR-1 analytic oracle's hard-coded tables, closed-form. `uniform(k)`
@@ -116,15 +119,17 @@ fn uniform_registry_reproduces_dense_id_oracle_weights() {
 fn uniform_registry_enumeration_matches_dense_id_optimum() {
     // Under uniform availability every dense assignment is feasible, so the
     // registry-aware enumeration must land on the same optimum the dense-id
-    // exhaustive sweep finds — for every k the old code path supported.
+    // exhaustive sweep finds — for every k the old code path supported. The
+    // fast side runs through the service facade; the exhaustive baseline
+    // takes the facade's raw options via the escape hatch.
     for k in 2..=5usize {
-        let plan = workloads::wordcount(1e5);
-        let reg = PlatformRegistry::uniform(k);
-        let layout = FeatureLayout::new(k, N_OPERATOR_KINDS);
-        let oracle = AnalyticOracle::for_registry(&reg, &layout);
-        let opts = EnumOptions::new(&reg).with_oracle(&oracle);
-        let brute = exhaustive_best(&plan, &layout, opts);
-        let (fast, stats) = Enumerator::new().enumerate(&plan, &layout, opts);
+        let spec = WorkloadSpec::WordCount { scale: 1e5 };
+        let mut opt = Optimizer::new(PlatformRegistry::uniform(k));
+        let plan = spec.build().expect("workload spec builds");
+        let brute = exhaustive_best(&plan, opt.layout(), opt.enum_options());
+        let fast = opt
+            .optimize(&OptimizeRequest::new(spec))
+            .expect("facade optimize");
         let tol = 1e-9 * brute.cost.abs().max(1.0);
         assert!(
             (fast.cost - brute.cost).abs() <= tol,
@@ -133,7 +138,7 @@ fn uniform_registry_enumeration_matches_dense_id_optimum() {
             brute.cost
         );
         // Uniform availability: every singleton exists, nothing was masked.
-        assert!(stats.generated >= (plan.n_ops() * k) as u64);
+        assert!(fast.stats.generated >= (plan.n_ops() * k) as u64);
     }
 }
 
