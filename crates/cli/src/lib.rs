@@ -20,8 +20,9 @@
 use std::io::{BufRead, BufReader, Write};
 
 use robopt::{
-    parse_request, render_response, ExecutionPolicy, OptimizeRequest, Optimizer, Request, Response,
-    ServiceError, TrainRequest, TrainSource, WorkloadSpec,
+    parse_request, render_response, BackendChoice, ExecuteRequest, ExecutionPolicy,
+    OptimizeRequest, Optimizer, Request, Response, ServiceError, TrainRequest, TrainSource,
+    WorkloadSpec,
 };
 
 /// Successful run.
@@ -44,6 +45,7 @@ pub fn run(args: Vec<String>) -> i32 {
         "serve" => cmd_serve(&rest),
         "optimize" => cmd_one_shot(&rest, Verb::Optimize),
         "simulate" => cmd_one_shot(&rest, Verb::Simulate),
+        "execute" => cmd_one_shot(&rest, Verb::Execute),
         "compare" => cmd_one_shot(&rest, Verb::Compare),
         "train" => cmd_train(&rest),
         "help" | "--help" | "-h" => {
@@ -68,22 +70,31 @@ USAGE:
   robopt optimize [workload flags] [--workers N] [--split-parts N]
                   [--no-prune] [--model FILE]
   robopt simulate [workload flags] [--seed N] [--noise X] [--model FILE]
+  robopt execute  [workload flags] [--backend engine|simulator]
+                  [--engine-workers N] [--assign p1,p2,...] [--seed N]
+                  [--noise X] [--model FILE]
+      Actually run the workload (engine: measured runtimes, real output
+      rows and digest; simulator: modeled). Empty --assign optimizes
+      first and executes the winner.
   robopt compare  [workload flags] [--workers N] [--sim-seed N] [--model FILE]
   robopt train    [--rows N] [--trees N] [--seed N] [--source simulator|tdgen]
                   [--forest-seed N] [--model-out FILE]
 
 WORKLOAD FLAGS:
-  --workload wordcount|tpch_q3|pipeline|random_dag   (default wordcount)
+  --workload wordcount|tpch_q3|pipeline|random_dag|pagerank|kmeans
+                 (default wordcount)
   --scale X      input tuples (default 1e7)
   --ops N        operator count for pipeline/random_dag (default 16)
   --dag-seed N   random_dag shape seed (default 1)
-  --density X    random_dag extra-edge probability (default 0.3)";
+  --density X    random_dag extra-edge probability (default 0.3)
+  --iterations N loop trips for pagerank/kmeans (default 10)";
 
 /// One-shot verbs sharing the workload/policy flag surface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Verb {
     Optimize,
     Simulate,
+    Execute,
     Compare,
 }
 
@@ -150,7 +161,43 @@ fn workload_from_flags(flags: &Flags) -> Result<WorkloadSpec, String> {
             ops,
             density: flags.parse("--density", 0.3f64)?,
         }),
+        "pagerank" => Ok(WorkloadSpec::PageRank {
+            scale,
+            iterations: flags.parse("--iterations", 10u32)?,
+        }),
+        "kmeans" => Ok(WorkloadSpec::KMeans {
+            scale,
+            iterations: flags.parse("--iterations", 10u32)?,
+        }),
         other => Err(format!("unknown workload {other:?}")),
+    }
+}
+
+/// `--assign java,spark,...` into per-operator platform names (empty flag
+/// or no flag means "optimize first").
+fn assignments_from_flags(flags: &Flags) -> Vec<String> {
+    flags
+        .get("--assign")
+        .map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn backend_from_flags(flags: &Flags) -> Result<BackendChoice, String> {
+    match flags.get("--backend").unwrap_or("engine") {
+        "engine" => Ok(BackendChoice::Engine {
+            workers: flags.parse("--engine-workers", 2usize)?,
+        }),
+        "simulator" => Ok(BackendChoice::Simulator {
+            seed: flags.parse("--seed", 42u64)?,
+            noise: flags.parse("--noise", 0.0f64)?,
+        }),
+        other => Err(format!("unknown backend {other:?}")),
     }
 }
 
@@ -206,6 +253,11 @@ fn cmd_one_shot(args: &[String], verb: Verb) -> i32 {
                 seed: flags.parse("--seed", 42u64)?,
                 noise: flags.parse("--noise", 0.0f64)?,
             }),
+            Verb::Execute => Request::Execute(
+                ExecuteRequest::new(workload)
+                    .with_assignments(assignments_from_flags(&flags))
+                    .with_backend(backend_from_flags(&flags)?),
+            ),
             Verb::Compare => Request::Compare(robopt::CompareRequest {
                 workload,
                 policy: policy_from_flags(&flags)?,
@@ -331,10 +383,8 @@ fn serve_lines<R: BufRead, W: Write>(opt: &mut Optimizer, reader: R, writer: &mu
     false
 }
 
-/// Loopback TCP serving: connections are handled one at a time (the facade
-/// is single-threaded by design — batching, not request threading, is the
-/// concurrency story; one shared cache serves every connection). A `quit`
-/// closes the connection *and* the server.
+/// Loopback TCP serving: bind, then hand the accept loop to
+/// [`serve_on_listener`].
 fn serve_tcp(opt: &mut Optimizer, port: u16) -> i32 {
     let listener = match std::net::TcpListener::bind(("127.0.0.1", port)) {
         Ok(l) => l,
@@ -344,6 +394,19 @@ fn serve_tcp(opt: &mut Optimizer, port: u16) -> i32 {
         }
     };
     eprintln!("robopt: serving on 127.0.0.1:{port}");
+    serve_on_listener(opt, &listener)
+}
+
+/// The daemon accept loop over an already-bound listener (public so tests
+/// can bind port 0 and drive real reconnects). Connections are handled one
+/// at a time — the facade is single-threaded by design; batching, not
+/// request threading, is the concurrency story, and one shared cache
+/// serves every connection. A client that disconnects (EOF, dropped
+/// socket, write error) ends only *its* session: the loop goes straight
+/// back to `accept`, with the optimizer state (cache, telemetry, trained
+/// model) intact for the next client. Only an explicit `quit` stops the
+/// server.
+pub fn serve_on_listener(opt: &mut Optimizer, listener: &std::net::TcpListener) -> i32 {
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
         let Ok(read_half) = stream.try_clone() else {
@@ -371,6 +434,10 @@ fn dispatch(opt: &mut Optimizer, req: &Request) -> Response {
         },
         Request::Simulate(r) => match opt.simulate(r) {
             Ok(resp) => Response::Simulate(resp),
+            Err(e) => Response::Error(e),
+        },
+        Request::Execute(r) => match opt.execute(r) {
+            Ok(resp) => Response::Execute(resp),
             Err(e) => Response::Error(e),
         },
         Request::Compare(r) => match opt.compare(r) {
@@ -439,6 +506,68 @@ mod tests {
         assert!(lines[0].contains("\"ok\":false"));
         assert!(lines[1].contains("\"ok\":false"));
         assert!(lines[2].contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn serve_loop_answers_an_execute_request() {
+        let script = concat!(
+            r#"{"op":"execute","workload":{"kind":"wordcount","scale":1e4},"workers":2}"#,
+            "\n",
+        );
+        let mut opt = Optimizer::named();
+        let mut out = Vec::new();
+        serve_lines(&mut opt, script.as_bytes(), &mut out);
+        let text = String::from_utf8(out).expect("utf-8 output");
+        assert!(text.contains("\"kind\":\"execute\""), "{text}");
+        assert!(text.contains("\"backend\":\"engine\""), "{text}");
+        assert!(text.contains("\"measured\":true"), "{text}");
+        assert!(text.contains("\"output_digest\":"), "{text}");
+    }
+
+    /// Regression test: the TCP daemon must keep serving after a client
+    /// disconnects without `quit` — a second client gets a fresh session
+    /// against the same optimizer state.
+    #[test]
+    fn tcp_daemon_accepts_a_second_client_after_the_first_disconnects() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::{TcpListener, TcpStream};
+
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind port 0");
+        let addr = listener.local_addr().expect("local addr");
+        let server = std::thread::spawn(move || {
+            let mut opt = Optimizer::named();
+            serve_on_listener(&mut opt, &listener)
+        });
+
+        // Client 1: one optimize, then drop the socket (no quit).
+        {
+            let mut c1 = TcpStream::connect(addr).expect("client 1 connect");
+            writeln!(
+                c1,
+                r#"{{"op":"optimize","workload":{{"kind":"wordcount","scale":1e7}}}}"#
+            )
+            .expect("client 1 write");
+            let mut line = String::new();
+            BufReader::new(c1.try_clone().expect("clone"))
+                .read_line(&mut line)
+                .expect("client 1 read");
+            assert!(line.contains("\"ok\":true"), "{line}");
+        }
+
+        // Client 2: the daemon must still answer, with state carried over
+        // (the stats counter shows client 1's request), then quit.
+        let mut c2 = TcpStream::connect(addr).expect("client 2 connect");
+        let mut reader = BufReader::new(c2.try_clone().expect("clone"));
+        writeln!(c2, r#"{{"op":"stats"}}"#).expect("client 2 write stats");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("client 2 read stats");
+        assert!(line.contains("\"requests\":1"), "{line}");
+        writeln!(c2, r#"{{"op":"quit"}}"#).expect("client 2 write quit");
+        line.clear();
+        reader.read_line(&mut line).expect("client 2 read quit ack");
+        assert!(line.contains("\"quit\""), "{line}");
+
+        assert_eq!(server.join().expect("server thread"), EXIT_OK);
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! The engine's data model: records, seeded generators, per-record
+//! operator semantics, and the output digest.
+//!
+//! Everything here is **canonical** — a pure function of the seed and the
+//! record, with no dependence on partitioning, worker count, or execution
+//! order. Both the multi-threaded engine ([`crate::exec`]) and the
+//! single-threaded reference ([`crate::reference`]) apply these exact
+//! semantics; what differs between them is only the execution *strategy*,
+//! which is precisely what the byte-identity tests pin down.
+
+use robopt_plan::rng::mix64;
+
+/// One in-flight record: a 64-bit grouping key, a numeric payload, and an
+/// optional text payload (lines for text sources, words after a split).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Grouping/join key.
+    pub key: u64,
+    /// Numeric payload (counts, values, coordinates).
+    pub num: f64,
+    /// Text payload; empty for purely numeric streams.
+    pub text: String,
+}
+
+/// Total order over records: `(key, num bit pattern, text)`. Any total
+/// order works for canonicalization; bit-pattern comparison keeps it exact
+/// on floats. Equal elements are fully identical records, so merging
+/// sorted runs reproduces the full sort byte-for-byte.
+pub fn record_cmp(a: &Record, b: &Record) -> std::cmp::Ordering {
+    (a.key, a.num.to_bits(), &a.text).cmp(&(b.key, b.num.to_bits(), &b.text))
+}
+
+/// FNV-1a 64-bit over a byte string — keys words and lines.
+pub fn fnv1a(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Vocabulary size for generated text; squared-uniform sampling skews
+/// toward low word ids so real duplicate groups form.
+const VOCAB: u64 = 96;
+
+#[inline]
+fn unit(v: u64) -> f64 {
+    (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The `row`-th record of a seeded source operator. Seeding is per row
+/// index — never per partition — so chunking can never change the data.
+pub fn source_record(
+    kind: robopt_plan::OperatorKind,
+    seed: u64,
+    op: u32,
+    row: u64,
+    n_rows: u64,
+) -> Record {
+    let mut s = mix64(seed ^ mix64((u64::from(op) << 32) ^ row));
+    match kind {
+        robopt_plan::OperatorKind::TextFileSource => {
+            let n_words = 3 + s % 6;
+            let mut text = String::new();
+            for w in 0..n_words {
+                s = mix64(s.wrapping_add(w));
+                let u = unit(s);
+                let idx = ((u * u) * VOCAB as f64) as u64;
+                if w > 0 {
+                    text.push(' ');
+                }
+                text.push('w');
+                push_hex2(&mut text, idx.min(VOCAB - 1));
+            }
+            Record {
+                key: row,
+                num: 1.0,
+                text,
+            }
+        }
+        robopt_plan::OperatorKind::TableSource => Record {
+            key: mix64(s ^ 0x7AB1) % (n_rows / 4).max(1),
+            num: unit(mix64(s ^ 0x0A11)) * 100.0,
+            text: String::new(),
+        },
+        // CollectionSource and any non-source kind fed no input.
+        _ => Record {
+            key: row,
+            num: unit(s) * 1000.0,
+            text: String::new(),
+        },
+    }
+}
+
+fn push_hex2(text: &mut String, v: u64) {
+    const HEX: [char; 16] = [
+        '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', 'a', 'b', 'c', 'd', 'e', 'f',
+    ];
+    text.push(HEX[((v >> 4) & 0xF) as usize]);
+    text.push(HEX[(v & 0xF) as usize]);
+}
+
+/// `Map` / `MapPartitions` semantics: re-key injectively, keep payloads.
+pub fn map_record(r: &Record) -> Record {
+    Record {
+        key: mix64(r.key),
+        num: r.num,
+        text: r.text.clone(),
+    }
+}
+
+/// `FlatMap` semantics: text records split into one word record apiece
+/// (keyed by the word — this is what makes WordCount really count words);
+/// numeric records split in two.
+pub fn flat_map_record(r: &Record, out: &mut Vec<Record>) {
+    if r.text.is_empty() {
+        out.push(Record {
+            key: mix64(r.key ^ 1),
+            num: r.num * 0.5,
+            text: String::new(),
+        });
+        out.push(Record {
+            key: mix64(r.key ^ 2),
+            num: r.num * 0.5 + 1.0,
+            text: String::new(),
+        });
+    } else {
+        for word in r.text.split_ascii_whitespace() {
+            out.push(Record {
+                key: fnv1a(word),
+                num: 1.0,
+                text: word.to_string(),
+            });
+        }
+    }
+}
+
+/// `Filter` / `Sample` keep-decision: a seeded coin keyed on the record.
+pub fn keep_record(r: &Record, selectivity: f64, salt: u64) -> bool {
+    let threshold = (selectivity.clamp(0.0, 1.0) * (1u64 << 32) as f64) as u64;
+    mix64(r.key ^ salt) & 0xFFFF_FFFF < threshold
+}
+
+/// Salt for `Filter` coins.
+pub const FILTER_SALT: u64 = 0xF117;
+/// Salt for `Sample` coins.
+pub const SAMPLE_SALT: u64 = 0x5A3B;
+/// Salt deriving a PageRank edge destination from an edge record key.
+pub const PAGERANK_DST_SALT: u64 = 0xED6E;
+/// Salt deriving a k-means point's second coordinate from its key.
+pub const KMEANS_Y_SALT: u64 = 0x2D2D;
+
+/// A record viewed as a 2-D point: `x` is the numeric payload, `y` is
+/// derived deterministically from the key.
+pub fn point_of(r: &Record) -> (f64, f64) {
+    let y = (mix64(r.key ^ KMEANS_Y_SALT) >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * 1000.0;
+    (r.num, y)
+}
+
+/// Nearest-centroid assignment with ties broken toward the lowest cluster
+/// index — the per-point step of Lloyd's algorithm.
+pub fn assign_point(x: f64, y: f64, centroids: &[(f64, f64)]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (j, (cx, cy)) in centroids.iter().enumerate() {
+        let (dx, dy) = (x - cx, y - cy);
+        let d = dx * dx + dy * dy;
+        if d < best_d {
+            best_d = d;
+            best = j;
+        }
+    }
+    best
+}
+
+/// Order-dependent digest of a canonical record stream.
+pub fn digest_records(records: &[Record]) -> u64 {
+    let mut h = 0x0D1E_57A7u64 ^ records.len() as u64;
+    for r in records {
+        h = mix64(h ^ r.key);
+        h = mix64(h ^ r.num.to_bits());
+        h = mix64(h ^ r.text.len() as u64);
+        for b in r.text.as_bytes() {
+            h = mix64(h ^ u64::from(*b));
+        }
+    }
+    h
+}
+
+/// Fold the per-terminal stream digests (op-id ascending) into one plan
+/// output digest — the value `tests/determinism.rs` pins across processes
+/// and worker counts.
+pub fn digest_terminals(terminals: &[(u32, Vec<Record>)]) -> u64 {
+    let mut h = 0x7E61_0E0Du64;
+    for (op, records) in terminals {
+        h = mix64(h ^ u64::from(*op));
+        h = mix64(h ^ digest_records(records));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robopt_plan::OperatorKind;
+
+    #[test]
+    fn source_records_depend_only_on_row_index() {
+        for kind in [
+            OperatorKind::TextFileSource,
+            OperatorKind::TableSource,
+            OperatorKind::CollectionSource,
+        ] {
+            let a = source_record(kind, 7, 0, 42, 1000);
+            let b = source_record(kind, 7, 0, 42, 1000);
+            assert_eq!(a, b);
+            let c = source_record(kind, 7, 0, 43, 1000);
+            assert_ne!(a, c, "{kind:?} rows must differ");
+        }
+    }
+
+    #[test]
+    fn text_sources_generate_skewed_words() {
+        let mut words = std::collections::BTreeMap::new();
+        for row in 0..2000u64 {
+            let r = source_record(OperatorKind::TextFileSource, 1, 0, row, 2000);
+            for w in r.text.split_ascii_whitespace() {
+                *words.entry(w.to_string()).or_insert(0usize) += 1;
+            }
+        }
+        assert!(words.len() > 20, "vocabulary too small: {}", words.len());
+        let max = words.values().copied().max().unwrap_or(0);
+        let min = words.values().copied().min().unwrap_or(0);
+        assert!(max > 4 * min.max(1), "distribution should be skewed");
+    }
+
+    #[test]
+    fn record_cmp_is_a_total_order_on_float_bits() {
+        let a = Record {
+            key: 1,
+            num: 0.0,
+            text: String::new(),
+        };
+        let b = Record {
+            key: 1,
+            num: -0.0,
+            text: String::new(),
+        };
+        assert_ne!(record_cmp(&a, &b), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = Record {
+            key: 1,
+            num: 1.0,
+            text: "x".to_string(),
+        };
+        let b = Record {
+            key: 2,
+            num: 2.0,
+            text: "y".to_string(),
+        };
+        assert_ne!(
+            digest_records(&[a.clone(), b.clone()]),
+            digest_records(&[b, a])
+        );
+    }
+}

@@ -1,12 +1,31 @@
-//! `robopt-engine`: a small single-process dataflow executor (the "Java
-//! platform" made real) plus synthetic data generators, proving logical
-//! plans are runnable end to end (WordCount really counts words).
+//! `robopt-engine`: the real multi-threaded in-memory dataflow executor —
+//! the "Java platform" made real (ISSUE 8, ROADMAP item 2).
 //!
-//! **Stub** — lands in a later PR (see ROADMAP.md "Open items").
+//! [`Engine`] implements the [`robopt_platforms::ExecutionBackend`] seam
+//! next to the analytic simulator: WordCount really counts generated
+//! words, GroupBy really groups, and `RepeatLoop` runs PageRank / k-means
+//! kernels with per-iteration loop overheads. Module map:
+//!
+//! * [`data`] — records, seeded per-row generators, canonical per-record
+//!   operator semantics, and the output digest;
+//! * [`exec`] — the partition-parallel executor (`std::thread::scope`,
+//!   order-preserving chunking, sort-based keyed operators) and the
+//!   iterative kernels;
+//! * [`reference`] — the independent single-threaded reference executor
+//!   the byte-identity tests compare against.
+//!
+//! Determinism contract (DESIGN §11): output records and digests are pure
+//! functions of `(plan, seed, row cap)` — invariant across worker counts,
+//! chunkings, and processes. Measured timings are wall clock, surfaced
+//! only through [`robopt_platforms::ExecutionReport`], and never digested.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
-/// Placeholder so dependents can reference the crate.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct Placeholder;
+pub mod data;
+pub mod exec;
+pub mod reference;
+
+pub use data::{digest_records, digest_terminals, Record};
+pub use exec::{Engine, ExecutionOutput, DEFAULT_MAX_SOURCE_ROWS, OVERHEAD_SCALE};
+pub use reference::execute_reference;

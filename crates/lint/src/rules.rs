@@ -881,6 +881,22 @@ mod tests {
     }
 
     #[test]
+    fn engine_crate_is_covered_by_thread_spawn_join() {
+        // The execution engine is determinism-class: a detached spawn
+        // there is exactly the kind of nondeterminism the rule exists
+        // to catch.
+        let detached = "pub fn f() {\n    std::thread::spawn(|| {});\n}\n";
+        assert_eq!(
+            rule_hits(&lint("engine", detached)),
+            vec!["thread-spawn-join"]
+        );
+        // The engine's actual idiom — scoped workers joined at the end
+        // of `std::thread::scope` — must keep passing.
+        let scoped = "pub fn run() {\n    std::thread::scope(|s| {\n        for _ in 0..4 {\n            s.spawn(|| {});\n        }\n    });\n}\n";
+        assert!(rule_hits(&lint("engine", scoped)).is_empty());
+    }
+
+    #[test]
     fn thread_spawn_join_respects_allow_and_exemptions() {
         let allowed = "// lint:allow(thread-spawn-join) fire-and-forget logger, joined at shutdown\npub fn f() { std::thread::spawn(|| {}); }\n";
         let out = lint("ml", allowed);

@@ -18,7 +18,10 @@
 //!   implements;
 //! * [`training`] — [`SimulatorSource`], the direct-labelling source (one
 //!   simulator call per row) that TDGEN's interpolated generation is
-//!   measured against, with `ln(1 + seconds)` fit targets.
+//!   measured against, with `ln(1 + seconds)` fit targets; and
+//!   [`BackendSource`], the same sampler generalized over any
+//!   `robopt_platforms::ExecutionBackend` so forests can train on runtimes
+//!   *measured* by the real engine.
 //!
 //! Everything is dependency-free: randomness comes from
 //! `robopt_plan::rng::SplitMix64`, parallelism from `std::thread::scope`,
@@ -40,5 +43,5 @@ pub use linreg::LinearModel;
 pub use metrics::{mae, mse, q_error, r_squared, spearman, Metrics};
 pub use model::{Model, ModelOracle};
 pub use source::{TrainingSet, TrainingSource};
-pub use training::{simulator_training_set, SamplerConfig, SimulatorSource};
+pub use training::{simulator_training_set, BackendSource, SamplerConfig, SimulatorSource};
 pub use tree::{ModelImportError, RegressionTree, TreeConfig};

@@ -24,7 +24,7 @@
 use robopt_core::vectorize::vectorize_assignment;
 use robopt_plan::rng::SplitMix64;
 use robopt_plan::{workloads, LogicalPlan};
-use robopt_platforms::{PlatformRegistry, RuntimeSimulator};
+use robopt_platforms::{ExecutionBackend, PlatformRegistry, RuntimeSimulator};
 use robopt_vector::FeatureLayout;
 
 use crate::source::{TrainingSet, TrainingSource};
@@ -111,11 +111,13 @@ fn plan_pool(rng: &mut SplitMix64) -> Vec<LogicalPlan> {
 /// place everything on one random base platform (falling back per
 /// operator where it lacks the kind), half assign uniformly over each
 /// operator's available platforms. Returns `None` if `attempts` draws all
-/// came out infeasible (no conversion path between some pair).
+/// came out infeasible (no conversion path between some pair). Labels come
+/// from whatever [`ExecutionBackend`] the caller hands in — the analytic
+/// simulator prices the draw, the real engine runs it.
 fn sample_assignment(
     plan: &LogicalPlan,
     registry: &PlatformRegistry,
-    sim: &RuntimeSimulator<'_>,
+    backend: &dyn ExecutionBackend,
     rng: &mut SplitMix64,
     attempts: usize,
 ) -> Option<(Vec<u8>, f64)> {
@@ -139,9 +141,9 @@ fn sample_assignment(
                 _ => avail[rng.gen_range(avail.len())],
             };
         }
-        let seconds = sim.simulate_raw(plan, &assign);
-        if seconds.is_finite() {
-            return Some((assign, seconds));
+        let report = backend.execute_raw(plan, &assign);
+        if report.feasible && report.seconds.is_finite() {
+            return Some((assign, report.seconds));
         }
     }
     None
@@ -196,6 +198,9 @@ impl TrainingSource for SimulatorSource<'_> {
     }
 
     fn generate(&mut self, n: usize) -> TrainingSet {
+        // Labels flow through the ExecutionBackend seam; for the simulator
+        // `ExecutionReport::seconds` is bit-identical to `simulate_raw`, so
+        // this path reproduces the pre-seam training sets exactly.
         let sim = RuntimeSimulator::new(self.registry, self.cfg.seed() ^ 0x5157)
             .with_noise(self.cfg.noise());
         let mut set = TrainingSet::with_capacity(self.layout, n);
@@ -207,6 +212,90 @@ impl TrainingSource for SimulatorSource<'_> {
             self.cursor += 1;
             let Some((assign, seconds)) =
                 sample_assignment(plan, self.registry, &sim, &mut self.rng, 16)
+            else {
+                continue;
+            };
+            vectorize_assignment(plan, &self.layout, &assign, &mut feats_buf);
+            set.push_simulated(&feats_buf, seconds);
+        }
+        set
+    }
+}
+
+/// A [`TrainingSource`] labelling rows through **any**
+/// [`ExecutionBackend`] — hand it the real engine and every row's label is
+/// a *measured* runtime; hand it the simulator and it reproduces
+/// [`SimulatorSource`] bit-for-bit (same seed, same pool, same stream).
+///
+/// Plan/assignment *choice* is deterministic for a fixed `(seed, pool)`;
+/// label *values* inherit the backend's contract (modeled = reproducible,
+/// measured = wall clock). Use [`BackendSource::with_pool`] to swap in
+/// engine-scale workloads — the default pool's largest inputs are sized
+/// for the analytic simulator and would dominate measured generation time.
+#[derive(Debug)]
+pub struct BackendSource<'a> {
+    backend: &'a dyn ExecutionBackend,
+    registry: &'a PlatformRegistry,
+    layout: FeatureLayout,
+    rng: SplitMix64,
+    pool: Vec<LogicalPlan>,
+    cursor: usize,
+}
+
+impl<'a> BackendSource<'a> {
+    /// A source labelling through `backend`, drawing plans/assignments
+    /// from the default [`SimulatorSource`] pool under `seed`.
+    pub fn new(
+        backend: &'a dyn ExecutionBackend,
+        registry: &'a PlatformRegistry,
+        layout: FeatureLayout,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            layout.n_platforms,
+            registry.len(),
+            "layout platform count must match the registry"
+        );
+        let mut rng = SplitMix64::new(seed);
+        let pool = plan_pool(&mut rng);
+        BackendSource {
+            backend,
+            registry,
+            layout,
+            rng,
+            pool,
+            cursor: 0,
+        }
+    }
+
+    /// Replace the plan pool (e.g. engine-scale workloads). Panics on an
+    /// empty pool — a source that can never produce a row is a caller bug.
+    pub fn with_pool(mut self, pool: Vec<LogicalPlan>) -> Self {
+        assert!(!pool.is_empty(), "BackendSource pool must be non-empty");
+        self.pool = pool;
+        self
+    }
+
+    /// The backend labelling this source's rows.
+    #[inline]
+    pub fn backend(&self) -> &dyn ExecutionBackend {
+        self.backend
+    }
+}
+
+impl TrainingSource for BackendSource<'_> {
+    fn layout(&self) -> FeatureLayout {
+        self.layout
+    }
+
+    fn generate(&mut self, n: usize) -> TrainingSet {
+        let mut set = TrainingSet::with_capacity(self.layout, n);
+        let mut feats_buf = Vec::new();
+        while set.len() < n {
+            let plan = &self.pool[self.cursor % self.pool.len()];
+            self.cursor += 1;
+            let Some((assign, seconds)) =
+                sample_assignment(plan, self.registry, self.backend, &mut self.rng, 16)
             else {
                 continue;
             };
@@ -309,6 +398,30 @@ mod tests {
             assert!((label - seconds.ln_1p()).abs() < 1e-12);
             assert!((TrainingSet::label_to_seconds(*label) - seconds).abs() < 1e-9 * seconds);
         }
+    }
+
+    #[test]
+    fn backend_source_over_simulator_reproduces_simulator_source() {
+        let (registry, layout) = named_setup();
+        let cfg = SamplerConfig::new().with_seed(11).with_noise(0.0);
+        let direct = simulator_training_set(&registry, &layout, &cfg, 32);
+        // Same seed split as SimulatorSource::generate: pool/assignment rng
+        // from cfg.seed, simulator noise stream from cfg.seed ^ 0x5157.
+        let sim = RuntimeSimulator::new(&registry, cfg.seed() ^ 0x5157).with_noise(cfg.noise());
+        let via_seam = BackendSource::new(&sim, &registry, layout, cfg.seed()).generate(32);
+        assert_eq!(direct.rows, via_seam.rows);
+        assert_eq!(direct.labels, via_seam.labels);
+    }
+
+    #[test]
+    fn backend_source_honors_a_custom_pool() {
+        let (registry, layout) = named_setup();
+        let sim = RuntimeSimulator::new(&registry, 3);
+        let pool = vec![workloads::wordcount(1e4), workloads::kmeans(1e4, 3)];
+        let mut source = BackendSource::new(&sim, &registry, layout, 9).with_pool(pool);
+        let set = source.generate(16);
+        assert_eq!(set.len(), 16);
+        assert!(set.seconds.iter().all(|s| s.is_finite() && *s > 0.0));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! DAGs with cardinality propagation, topology analysis, a deterministic
 //! seeded RNG (the offline stand-in for `rand`), and workload builders for
 //! the paper's plans (WordCount, TPC-H Q3, synthetic pipelines) plus random
-//! connected DAGs for property tests.
+//! connected DAGs for property tests. [`WorkloadSpec`] is the validated,
+//! serializable recipe shared by the service facade, the fig binaries, and
+//! the execution engine.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -12,9 +14,11 @@
 pub mod dag;
 pub mod op;
 pub mod rng;
+pub mod spec;
 pub mod topology;
 pub mod workloads;
 
 pub use dag::LogicalPlan;
 pub use op::{Operator, OperatorKind, N_OPERATOR_KINDS};
 pub use rng::SplitMix64;
+pub use spec::{SpecError, WorkloadSpec};

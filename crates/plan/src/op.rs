@@ -134,6 +134,12 @@ pub struct Operator {
     pub selectivity: f64,
     /// Estimated output cardinality for source operators; ignored otherwise.
     pub source_cardinality: f64,
+    /// Loop trip count for [`OperatorKind::RepeatLoop`]; ignored otherwise.
+    ///
+    /// `0` (the default) keeps the operator inert — a pass-through with no
+    /// per-iteration cost — so plans built before iterative workloads landed
+    /// keep bit-identical simulator outputs.
+    pub iterations: u32,
 }
 
 impl Operator {
@@ -143,6 +149,7 @@ impl Operator {
             tuple_width: kind.default_tuple_width(),
             selectivity: kind.default_selectivity(),
             source_cardinality: 0.0,
+            iterations: 0,
         }
     }
 
@@ -162,6 +169,12 @@ impl Operator {
 
     pub fn with_tuple_width(mut self, width: f64) -> Self {
         self.tuple_width = width;
+        self
+    }
+
+    /// Loop trip count; meaningful only on [`OperatorKind::RepeatLoop`].
+    pub fn with_iterations(mut self, iterations: u32) -> Self {
+        self.iterations = iterations;
         self
     }
 }

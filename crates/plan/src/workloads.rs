@@ -75,6 +75,61 @@ pub fn tpch_q3(scale_tuples: f64) -> LogicalPlan {
     p
 }
 
+/// PageRank over a synthetic edge list: 6 operators.
+///
+/// TextFileSource(edge lines) -> Filter(drop self-loops) -> Map(normalize)
+/// -> RepeatLoop(rank iterations) -> Map(format) -> LocalCallbackSink.
+///
+/// The text-carrying source is what routes the engine's `RepeatLoop` to
+/// the PageRank kernel (numeric streams route to k-means). `edge_tuples`
+/// sizes the edge scan; the loop's selectivity models the contraction from
+/// edges down to one rank row per node (engine kernels derive the node
+/// count as roughly edges / 8).
+pub fn pagerank(edge_tuples: f64, iterations: u32) -> LogicalPlan {
+    let mut p = LogicalPlan::new();
+    let src = p.add_op(Operator::source(OperatorKind::TextFileSource, edge_tuples));
+    let dedup = p.add_op(Operator::new(OperatorKind::Filter).with_selectivity(0.9));
+    let norm = p.add_op(Operator::new(OperatorKind::Map).with_tuple_width(24.0));
+    let loop_op = p.add_op(
+        Operator::new(OperatorKind::RepeatLoop)
+            .with_selectivity(0.125)
+            .with_iterations(iterations),
+    );
+    let fmt = p.add_op(Operator::new(OperatorKind::Map));
+    let sink = p.add_op(Operator::new(OperatorKind::LocalCallbackSink));
+    p.connect(src, dedup);
+    p.connect(dedup, norm);
+    p.connect(norm, loop_op);
+    p.connect(loop_op, fmt);
+    p.connect(fmt, sink);
+    p.seal();
+    p
+}
+
+/// k-means over synthetic 2-D points: 6 operators.
+///
+/// CollectionSource(points) -> Map(project) -> RepeatLoop(Lloyd iterations)
+/// -> GroupByKey(cluster sizes) -> Map(format) -> LocalCallbackSink.
+pub fn kmeans(point_tuples: f64, iterations: u32) -> LogicalPlan {
+    let mut p = LogicalPlan::new();
+    let src = p.add_op(Operator::source(
+        OperatorKind::CollectionSource,
+        point_tuples,
+    ));
+    let proj = p.add_op(Operator::new(OperatorKind::Map).with_tuple_width(16.0));
+    let loop_op = p.add_op(Operator::new(OperatorKind::RepeatLoop).with_iterations(iterations));
+    let sizes = p.add_op(Operator::new(OperatorKind::GroupByKey).with_selectivity(1e-3));
+    let fmt = p.add_op(Operator::new(OperatorKind::Map));
+    let sink = p.add_op(Operator::new(OperatorKind::LocalCallbackSink));
+    p.connect(src, proj);
+    p.connect(proj, loop_op);
+    p.connect(loop_op, sizes);
+    p.connect(sizes, fmt);
+    p.connect(fmt, sink);
+    p.seal();
+    p
+}
+
 /// Synthetic straight pipeline with exactly `n` operators (paper Fig 1,
 /// "Synthetic (40 op.)"; also the Table-I pruning-shape plans).
 ///
@@ -178,6 +233,24 @@ mod tests {
         assert_eq!(wordcount(1e5).n_ops(), 6);
         assert_eq!(tpch_q3(1e5).n_ops(), 17);
         assert_eq!(synthetic_pipeline(40, 1e5).n_ops(), 40);
+        assert_eq!(pagerank(1e5, 10).n_ops(), 6);
+        assert_eq!(kmeans(1e5, 10).n_ops(), 6);
+    }
+
+    #[test]
+    fn iterative_workloads_carry_trip_counts() {
+        let pr = pagerank(1e4, 7);
+        let km = kmeans(1e4, 3);
+        let loop_iters = |p: &LogicalPlan| {
+            (0..p.n_ops() as u32)
+                .map(|i| p.op(i))
+                .find(|o| o.kind == OperatorKind::RepeatLoop)
+                .map(|o| o.iterations)
+        };
+        assert_eq!(loop_iters(&pr), Some(7));
+        assert_eq!(loop_iters(&km), Some(3));
+        // Every other builder leaves iterations at the inert default.
+        assert!((0..6u32).all(|i| wordcount(1e4).op(i).iterations == 0));
     }
 
     #[test]

@@ -20,17 +20,23 @@
 //! * [`simulator::RuntimeSimulator`] — a deterministic, seeded analytic
 //!   runtime model with non-linear per-platform cost curves (startup
 //!   floors, `n·log n` shuffle terms, memory cliffs) and a noise hook;
-//!   it will generate TDGEN training labels.
+//!   it will generate TDGEN training labels;
+//! * [`backend::ExecutionBackend`] — the object-safe execution seam
+//!   (DESIGN §11) both the simulator and the real `robopt-engine`
+//!   implement, returning an [`backend::ExecutionReport`] with
+//!   per-operator timings and output cardinalities.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
 pub mod availability;
+pub mod backend;
 pub mod channels;
 pub mod registry;
 pub mod simulator;
 
 pub use availability::AvailabilityMatrix;
+pub use backend::{ExecutionBackend, ExecutionReport, OperatorReport};
 pub use channels::{ConversionGraph, ConversionPath, REF_TUPLES};
 pub use registry::{Platform, PlatformId, PlatformRegistry, RegistryBuilder, MAX_PLATFORMS};
 pub use simulator::RuntimeSimulator;

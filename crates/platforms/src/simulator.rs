@@ -27,10 +27,13 @@
 
 use robopt_plan::{rng::mix64, LogicalPlan, OperatorKind};
 
+use crate::backend::SimProfile;
 use crate::registry::{PlatformId, PlatformRegistry};
 
 /// Seconds of per-operator fixed overhead per unit of `Platform::fixed_cost`.
-const C_FIXED: f64 = 0.05;
+/// Public since ISSUE 8: the engine models its deterministic overheads on
+/// the same calibration so simulator and engine rank assignments alike.
+pub const C_FIXED: f64 = 0.05;
 
 /// Spill multiplier once an operator's working set exceeds platform memory.
 const SPILL_FACTOR: f64 = 4.0;
@@ -105,7 +108,7 @@ impl<'a> RuntimeSimulator<'a> {
             plan.n_ops(),
             "one platform assignment per operator"
         );
-        self.simulate_with(plan, |i| assignments[i])
+        self.simulate_with(plan, |i| assignments[i], None)
     }
 
     /// [`RuntimeSimulator::simulate`] over raw dense platform bytes (the
@@ -117,10 +120,37 @@ impl<'a> RuntimeSimulator<'a> {
             plan.n_ops(),
             "one platform assignment per operator"
         );
-        self.simulate_with(plan, |i| PlatformId::from_index(assignments[i] as usize))
+        self.simulate_with(
+            plan,
+            |i| PlatformId::from_index(assignments[i] as usize),
+            None,
+        )
     }
 
-    fn simulate_with(&self, plan: &LogicalPlan, assignment: impl Fn(usize) -> PlatformId) -> f64 {
+    /// [`RuntimeSimulator::simulate`] that additionally fills a
+    /// compute/overhead/per-operator breakdown for the [`crate::backend`]
+    /// seam. The returned total is bit-identical to [`Self::simulate`] —
+    /// profiling only *observes* the accumulation, it never reorders it.
+    pub(crate) fn simulate_profiled(
+        &self,
+        plan: &LogicalPlan,
+        assignments: &[PlatformId],
+        profile: &mut SimProfile,
+    ) -> f64 {
+        assert_eq!(
+            assignments.len(),
+            plan.n_ops(),
+            "one platform assignment per operator"
+        );
+        self.simulate_with(plan, |i| assignments[i], Some(profile))
+    }
+
+    fn simulate_with(
+        &self,
+        plan: &LogicalPlan,
+        assignment: impl Fn(usize) -> PlatformId,
+        mut profile: Option<&mut SimProfile>,
+    ) -> f64 {
         let mut total = 0.0;
         let mut used_mask = 0u8;
         for op in 0..plan.n_ops() as u32 {
@@ -144,12 +174,33 @@ impl<'a> RuntimeSimulator<'a> {
             } else {
                 1.0
             };
-            let work = in_t * desc.tuple_rate * shape * spill / desc.parallelism;
-            total += (desc.fixed_cost * C_FIXED + work) * self.noise_factor(op, p);
+            // Iterative dataflow (`RepeatLoop` with a trip count) re-scans
+            // its input every iteration and pays a per-iteration loop
+            // synchronization surcharge on the fixed cost. Inert loops
+            // (`iterations == 0`) multiply by exactly 1.0, so pre-existing
+            // plans keep bit-identical estimates.
+            let iters = plan.op(op).iterations;
+            let (loop_work, loop_fixed) = if kind == OperatorKind::RepeatLoop && iters >= 1 {
+                (f64::from(iters), 1.0 + 0.25 * f64::from(iters))
+            } else {
+                (1.0, 1.0)
+            };
+            let work = in_t * desc.tuple_rate * shape * spill * loop_work / desc.parallelism;
+            let fixed = desc.fixed_cost * C_FIXED * loop_fixed;
+            let noise = self.noise_factor(op, p);
+            total += (fixed + work) * noise;
+            if let Some(prof) = profile.as_deref_mut() {
+                prof.per_op.push((fixed + work) * noise);
+                prof.compute += work * noise;
+                prof.overhead += fixed * noise;
+            }
         }
         for p in self.registry.ids() {
             if used_mask & (1u8 << p.index()) != 0 {
                 total += self.registry.platform(p).startup_s;
+                if let Some(prof) = profile.as_deref_mut() {
+                    prof.overhead += self.registry.platform(p).startup_s;
+                }
             }
         }
         for &(u, v) in plan.edges() {
@@ -164,6 +215,9 @@ impl<'a> RuntimeSimulator<'a> {
                 // Conversion channel costs are calibrated in oracle cost
                 // units; one unit ≈ C_FIXED seconds on the simulated cluster.
                 total += c * C_FIXED;
+                if let Some(prof) = profile.as_deref_mut() {
+                    prof.overhead += c * C_FIXED;
+                }
             }
         }
         total

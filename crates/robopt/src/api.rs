@@ -7,8 +7,13 @@
 //! they came from.
 
 use robopt_core::EnumStats;
-use robopt_plan::{workloads, LogicalPlan, SplitMix64};
+use robopt_plan::LogicalPlan;
 use robopt_vector::SigHasher;
+
+// The workload recipe lives in `robopt_plan` since ISSUE 8 (one constructor
+// path for service, figs, and engine); re-exported here so service callers
+// keep their import path.
+pub use robopt_plan::{SpecError, WorkloadSpec};
 
 use crate::cache::CacheStats;
 
@@ -76,132 +81,48 @@ impl ExecutionPolicy {
     }
 }
 
-/// A workload *specification* — the recipe for a [`LogicalPlan`], kept
-/// symbolic so requests stay hashable and serializable.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum WorkloadSpec {
-    /// The paper's running example: map/flatmap/reduce word count.
-    WordCount {
-        /// Input tuple count.
-        scale: f64,
-    },
-    /// TPC-H Q3 join tree.
-    TpchQ3 {
-        /// Scale in tuples of the largest input.
-        scale: f64,
-    },
-    /// Linear pipeline of `ops` operators.
-    Pipeline {
-        /// Operator count (2..=128).
-        ops: usize,
-        /// Input tuple count.
-        scale: f64,
-    },
-    /// Random connected DAG, reproducible from `seed`.
-    RandomDag {
-        /// RNG seed for the DAG shape.
-        seed: u64,
-        /// Operator count (2..=128).
-        ops: usize,
-        /// Extra-edge probability in `[0, 1]`.
-        density: f64,
-    },
+/// Validate and build a workload spec, mapping [`SpecError`] onto the
+/// service's typed error — the service never panics on bad input.
+pub(crate) fn build_workload(spec: &WorkloadSpec) -> Result<LogicalPlan, ServiceError> {
+    spec.build()
+        .map_err(|e| ServiceError::InvalidRequest(e.message().to_string()))
 }
 
-/// Operator-count bounds for the parameterized workload shapes; keeps
-/// service requests from building degenerate or exponential plans.
-const MIN_OPS: usize = 2;
-const MAX_OPS: usize = 128;
-
-impl WorkloadSpec {
-    /// Human-readable workload label used in responses and artifacts,
-    /// e.g. `wordcount(1e7)` or `random_dag(seed=7,ops=24,density=0.30)`.
-    pub fn name(&self) -> String {
-        match *self {
-            WorkloadSpec::WordCount { scale } => format!("wordcount({scale:e})"),
-            WorkloadSpec::TpchQ3 { scale } => format!("tpch_q3({scale:e})"),
-            WorkloadSpec::Pipeline { ops, scale } => format!("pipeline(ops={ops},{scale:e})"),
-            WorkloadSpec::RandomDag { seed, ops, density } => {
-                format!("random_dag(seed={seed},ops={ops},density={density:.2})")
-            }
+/// Fold the spec into a signature hasher. A leading per-variant tag keeps
+/// e.g. `WordCount{1e7}` and `TpchQ3{1e7}` distinct. Lives here (not on the
+/// hoisted spec) because `SigHasher` is a `robopt_vector` type the plan
+/// crate does not depend on.
+pub(crate) fn write_workload_sig(spec: &WorkloadSpec, h: &mut SigHasher) {
+    match *spec {
+        WorkloadSpec::WordCount { scale } => {
+            h.write_u64(1);
+            h.write_f64_bits(scale);
         }
-    }
-
-    /// Validate the spec and build its [`LogicalPlan`]. Every constraint a
-    /// plan constructor would `assert!` is checked here first and surfaced
-    /// as a typed [`ServiceError`] — the service never panics on bad input.
-    pub fn build(&self) -> Result<LogicalPlan, ServiceError> {
-        match *self {
-            WorkloadSpec::WordCount { scale } => {
-                check_scale(scale)?;
-                Ok(workloads::wordcount(scale))
-            }
-            WorkloadSpec::TpchQ3 { scale } => {
-                check_scale(scale)?;
-                Ok(workloads::tpch_q3(scale))
-            }
-            WorkloadSpec::Pipeline { ops, scale } => {
-                check_scale(scale)?;
-                check_ops(ops)?;
-                Ok(workloads::synthetic_pipeline(ops, scale))
-            }
-            WorkloadSpec::RandomDag { seed, ops, density } => {
-                check_ops(ops)?;
-                if !(0.0..=1.0).contains(&density) {
-                    return Err(ServiceError::InvalidRequest(format!(
-                        "random_dag density {density} outside [0, 1]"
-                    )));
-                }
-                let mut rng = SplitMix64::new(seed);
-                Ok(workloads::random_connected_dag(&mut rng, ops, density))
-            }
+        WorkloadSpec::TpchQ3 { scale } => {
+            h.write_u64(2);
+            h.write_f64_bits(scale);
         }
-    }
-
-    /// Fold the spec into a signature hasher. A leading per-variant tag
-    /// keeps e.g. `WordCount{1e7}` and `TpchQ3{1e7}` distinct.
-    pub(crate) fn write_sig(&self, h: &mut SigHasher) {
-        match *self {
-            WorkloadSpec::WordCount { scale } => {
-                h.write_u64(1);
-                h.write_f64_bits(scale);
-            }
-            WorkloadSpec::TpchQ3 { scale } => {
-                h.write_u64(2);
-                h.write_f64_bits(scale);
-            }
-            WorkloadSpec::Pipeline { ops, scale } => {
-                h.write_u64(3);
-                h.write_u64(ops as u64);
-                h.write_f64_bits(scale);
-            }
-            WorkloadSpec::RandomDag { seed, ops, density } => {
-                h.write_u64(4);
-                h.write_u64(seed);
-                h.write_u64(ops as u64);
-                h.write_f64_bits(density);
-            }
+        WorkloadSpec::Pipeline { ops, scale } => {
+            h.write_u64(3);
+            h.write_u64(ops as u64);
+            h.write_f64_bits(scale);
         }
-    }
-}
-
-fn check_scale(scale: f64) -> Result<(), ServiceError> {
-    if scale.is_finite() && scale > 0.0 && scale <= 1e15 {
-        Ok(())
-    } else {
-        Err(ServiceError::InvalidRequest(format!(
-            "workload scale {scale} outside (0, 1e15]"
-        )))
-    }
-}
-
-fn check_ops(ops: usize) -> Result<(), ServiceError> {
-    if (MIN_OPS..=MAX_OPS).contains(&ops) {
-        Ok(())
-    } else {
-        Err(ServiceError::InvalidRequest(format!(
-            "operator count {ops} outside [{MIN_OPS}, {MAX_OPS}]"
-        )))
+        WorkloadSpec::RandomDag { seed, ops, density } => {
+            h.write_u64(4);
+            h.write_u64(seed);
+            h.write_u64(ops as u64);
+            h.write_f64_bits(density);
+        }
+        WorkloadSpec::PageRank { scale, iterations } => {
+            h.write_u64(5);
+            h.write_f64_bits(scale);
+            h.write_u64(u64::from(iterations));
+        }
+        WorkloadSpec::KMeans { scale, iterations } => {
+            h.write_u64(6);
+            h.write_f64_bits(scale);
+            h.write_u64(u64::from(iterations));
+        }
     }
 }
 
@@ -234,7 +155,7 @@ impl OptimizeRequest {
     /// primitive as Def-2 footprint hashing ([`SigHasher`]).
     pub fn signature(&self) -> u64 {
         let mut h = SigHasher::new();
-        self.workload.write_sig(&mut h);
+        write_workload_sig(&self.workload, &mut h);
         self.policy.write_sig(&mut h);
         h.finish()
     }
@@ -356,6 +277,102 @@ pub struct SimulateResponse {
     pub seconds: f64,
     /// Whether the assignment was executable (finite runtime).
     pub feasible: bool,
+}
+
+/// Which [`robopt_platforms::ExecutionBackend`] answers an
+/// [`ExecuteRequest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackendChoice {
+    /// The real multi-threaded in-memory engine: measured wall-clock
+    /// compute plus deterministically modeled overheads.
+    Engine {
+        /// Worker threads for partition-parallel operators (≥ 1).
+        workers: usize,
+    },
+    /// The analytic runtime simulator (PR-2): fully deterministic.
+    Simulator {
+        /// Simulator seed.
+        seed: u64,
+        /// Multiplicative noise amplitude in `[0, 1)`.
+        noise: f64,
+    },
+}
+
+impl Default for BackendChoice {
+    fn default() -> Self {
+        BackendChoice::Engine { workers: 2 }
+    }
+}
+
+/// Execute a workload on a backend under an explicit (or optimized)
+/// assignment — the `execute` service verb (DESIGN §11).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecuteRequest {
+    /// What to run.
+    pub workload: WorkloadSpec,
+    /// Platform name per operator; empty means "optimize first, then
+    /// execute the winning assignment".
+    pub assignments: Vec<String>,
+    /// Which backend runs the plan.
+    pub backend: BackendChoice,
+}
+
+impl ExecuteRequest {
+    /// Execute on the default backend (engine, 2 workers), optimizing
+    /// first to pick the assignment.
+    pub fn new(workload: WorkloadSpec) -> Self {
+        ExecuteRequest {
+            workload,
+            assignments: Vec::new(),
+            backend: BackendChoice::default(),
+        }
+    }
+
+    /// Pin an explicit assignment (one platform name per operator).
+    pub fn with_assignments(mut self, assignments: Vec<String>) -> Self {
+        self.assignments = assignments;
+        self
+    }
+
+    /// Pick the backend.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// Execution outcome for one assignment — the service rendering of
+/// [`robopt_platforms::ExecutionReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecuteResponse {
+    /// Workload label.
+    pub workload: String,
+    /// Backend that produced the numbers (`engine` or `simulator`).
+    pub backend: String,
+    /// The assignment that was executed (resolved names).
+    pub assignments: Vec<String>,
+    /// Total runtime in seconds (`infinite` ⇒ infeasible, see `feasible`).
+    pub seconds: f64,
+    /// Seconds spent in operator work (measured for the engine, modeled
+    /// for the simulator).
+    pub compute_seconds: f64,
+    /// Seconds charged to startup, per-operator fixed costs, conversions,
+    /// and loop synchronization — always deterministically modeled.
+    pub overhead_seconds: f64,
+    /// Whether the assignment was executable on its platforms.
+    pub feasible: bool,
+    /// `true` when `compute_seconds` came from a wall clock (engine);
+    /// `false` when fully modeled (simulator).
+    pub measured: bool,
+    /// Records delivered to terminal operators (sinks).
+    pub output_rows: u64,
+    /// Deterministic digest of the terminal output records; `0` for
+    /// backends that move no data.
+    pub output_digest: u64,
+    /// Per-operator seconds, in op-id order.
+    pub op_seconds: Vec<f64>,
+    /// Per-operator output cardinalities, in op-id order.
+    pub op_output_rows: Vec<u64>,
 }
 
 /// Optimize a workload, then pit the mixed-platform winner against every

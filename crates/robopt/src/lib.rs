@@ -45,9 +45,10 @@ pub mod persist;
 pub mod wire;
 
 pub use api::{
-    CompareRequest, CompareResponse, ExecutionPolicy, OptimizeRequest, OptimizeResponse,
-    ServiceError, SimulateRequest, SimulateResponse, SinglePlatformPlan, StatsResponse,
-    TrainRequest, TrainResponse, TrainSource, WorkloadSpec,
+    BackendChoice, CompareRequest, CompareResponse, ExecuteRequest, ExecuteResponse,
+    ExecutionPolicy, OptimizeRequest, OptimizeResponse, ServiceError, SimulateRequest,
+    SimulateResponse, SinglePlatformPlan, StatsResponse, TrainRequest, TrainResponse, TrainSource,
+    WorkloadSpec,
 };
 pub use cache::{CacheStats, PlanCache};
 pub use optimizer::Optimizer;

@@ -20,18 +20,21 @@
 
 use robopt_core::vectorize::vectorize_assignment;
 use robopt_core::{AnalyticOracle, CostOracle, EnumOptions, ParallelEnumerator, SplitOptions};
+use robopt_engine::Engine;
 use robopt_ml::{
     mse, simulator_training_set, ForestConfig, Model, ModelOracle, RandomForest, SamplerConfig,
 };
 use robopt_plan::{LogicalPlan, N_OPERATOR_KINDS};
-use robopt_platforms::{PlatformId, PlatformRegistry, RuntimeSimulator};
+use robopt_platforms::{
+    ExecutionBackend, ExecutionReport, PlatformId, PlatformRegistry, RuntimeSimulator,
+};
 use robopt_tdgen::{tdgen_training_set, TdgenConfig};
 use robopt_vector::{FeatureLayout, RowsView};
 
 use crate::api::{
-    CompareRequest, CompareResponse, OptimizeRequest, OptimizeResponse, ServiceError,
-    SimulateRequest, SimulateResponse, SinglePlatformPlan, StatsResponse, TrainRequest,
-    TrainResponse, TrainSource,
+    build_workload, BackendChoice, CompareRequest, CompareResponse, ExecuteRequest,
+    ExecuteResponse, OptimizeRequest, OptimizeResponse, ServiceError, SimulateRequest,
+    SimulateResponse, SinglePlatformPlan, StatsResponse, TrainRequest, TrainResponse, TrainSource,
 };
 use crate::cache::{CacheStats, PlanCache};
 
@@ -138,6 +141,25 @@ impl Optimizer {
         EnumOptions::new(&self.registry).with_oracle(self.oracle.as_dyn())
     }
 
+    /// A raw [`RuntimeSimulator`] over the facade's registry — the escape
+    /// hatch (like [`Optimizer::enum_options`]) for calibration sweeps and
+    /// noise-envelope studies that need the simulator *object*, not a
+    /// runtime number. Service callers use [`Optimizer::simulate`] /
+    /// [`Optimizer::execute`], which run every backend through the
+    /// [`ExecutionBackend`] seam; going around the seam forfeits the
+    /// per-operator report and the digest contract.
+    pub fn simulator(&self, seed: u64, noise: f64) -> RuntimeSimulator<'_> {
+        RuntimeSimulator::new(&self.registry, seed).with_noise(noise)
+    }
+
+    /// A raw [`Engine`] over the facade's registry — escape hatch for
+    /// callers (fig binaries, byte-identity tests) that need
+    /// `execute_collect`'s actual output records rather than the
+    /// [`ExecuteResponse`] rendering.
+    pub fn engine(&self, workers: usize) -> Engine<'_> {
+        Engine::new(&self.registry).with_workers(workers)
+    }
+
     /// Toggle plan-signature memoization (on by default).
     pub fn set_cache_enabled(&mut self, enabled: bool) {
         self.cache_enabled = enabled;
@@ -224,7 +246,7 @@ impl Optimizer {
                 slots.push(Slot::Fresh(i));
                 continue;
             }
-            let plan = req.workload.build()?;
+            let plan = build_workload(&req.workload)?;
             let resp = self.enumerate_response(req, sig, &plan)?;
             fresh.push((sig, plan, resp));
             slots.push(Slot::Fresh(fresh.len() - 1));
@@ -341,14 +363,73 @@ impl Optimizer {
 
     /// Simulate a workload under an explicit assignment, or — when
     /// `req.assignments` is empty — under the optimizer's winning plan.
+    ///
+    /// Since DESIGN §11 this verb runs through the
+    /// [`ExecutionBackend`] seam (the simulator is just one backend), so
+    /// `seconds` is bit-identical to the pre-seam direct
+    /// `RuntimeSimulator::simulate` path. Callers that need the raw
+    /// simulator object — calibration sweeps, noise-envelope studies —
+    /// use the [`Optimizer::simulator`] escape hatch instead of this verb.
     pub fn simulate(&mut self, req: &SimulateRequest) -> Result<SimulateResponse, ServiceError> {
         check_noise(req.noise)?;
-        let plan = req.workload.build()?;
-        let names: Vec<String> = if req.assignments.is_empty() {
-            self.optimize(&OptimizeRequest::new(req.workload))?
-                .assignments
+        let plan = build_workload(&req.workload)?;
+        let names = self.resolve_or_optimize(&plan, &req.workload, &req.assignments)?;
+        let ids = self.resolve_platform_ids(&names)?;
+        let sim = RuntimeSimulator::new(&self.registry, req.seed).with_noise(req.noise);
+        let backend: &dyn ExecutionBackend = &sim;
+        let report = backend.execute(&plan, &ids);
+        Ok(SimulateResponse {
+            workload: req.workload.name(),
+            assignments: names,
+            seconds: report.seconds,
+            feasible: report.feasible,
+        })
+    }
+
+    /// Execute a workload on a backend — the `execute` service verb
+    /// (DESIGN §11). With [`BackendChoice::Engine`] the plan *actually
+    /// runs*: seeded generators feed the multi-threaded executor,
+    /// WordCount counts real words, and `seconds` is measured wall clock
+    /// plus modeled platform overheads. With [`BackendChoice::Simulator`]
+    /// this is `simulate` with the full per-operator breakdown. Empty
+    /// `req.assignments` optimizes first and executes the winner.
+    pub fn execute(&mut self, req: &ExecuteRequest) -> Result<ExecuteResponse, ServiceError> {
+        let plan = build_workload(&req.workload)?;
+        let names = self.resolve_or_optimize(&plan, &req.workload, &req.assignments)?;
+        let ids = self.resolve_platform_ids(&names)?;
+        let report = match req.backend {
+            BackendChoice::Engine { workers } => {
+                if workers == 0 || workers > 256 {
+                    return Err(ServiceError::InvalidRequest(format!(
+                        "engine workers {workers} outside [1, 256]"
+                    )));
+                }
+                let engine = Engine::new(&self.registry).with_workers(workers);
+                let backend: &dyn ExecutionBackend = &engine;
+                backend.execute(&plan, &ids)
+            }
+            BackendChoice::Simulator { seed, noise } => {
+                check_noise(noise)?;
+                let sim = RuntimeSimulator::new(&self.registry, seed).with_noise(noise);
+                let backend: &dyn ExecutionBackend = &sim;
+                backend.execute(&plan, &ids)
+            }
+        };
+        Ok(render_execute_response(&req.workload, names, &report))
+    }
+
+    /// Resolve the assignment names to run: the request's own when given,
+    /// otherwise the optimizer's winning plan for `spec`.
+    fn resolve_or_optimize(
+        &mut self,
+        plan: &LogicalPlan,
+        spec: &crate::api::WorkloadSpec,
+        assignments: &[String],
+    ) -> Result<Vec<String>, ServiceError> {
+        let names: Vec<String> = if assignments.is_empty() {
+            self.optimize(&OptimizeRequest::new(*spec))?.assignments
         } else {
-            req.assignments.clone()
+            assignments.to_vec()
         };
         if names.len() != plan.n_ops() {
             return Err(ServiceError::AssignmentLength {
@@ -356,29 +437,27 @@ impl Optimizer {
                 got: names.len(),
             });
         }
+        Ok(names)
+    }
+
+    /// Map platform names to registry ids, failing on unknown names.
+    fn resolve_platform_ids(&self, names: &[String]) -> Result<Vec<PlatformId>, ServiceError> {
         let mut ids = Vec::with_capacity(names.len());
-        for name in &names {
+        for name in names {
             ids.push(
                 self.registry
                     .by_name(name)
                     .ok_or_else(|| ServiceError::UnknownPlatform(name.clone()))?,
             );
         }
-        let sim = RuntimeSimulator::new(&self.registry, req.seed).with_noise(req.noise);
-        let seconds = sim.simulate(&plan, &ids);
-        Ok(SimulateResponse {
-            workload: req.workload.name(),
-            assignments: names,
-            seconds,
-            feasible: seconds.is_finite(),
-        })
+        Ok(ids)
     }
 
     /// The Fig-2 experiment as a verb: optimize, then pit the mixed winner
     /// against every single-platform execution under oracle cost *and*
     /// simulated runtime.
     pub fn compare(&mut self, req: &CompareRequest) -> Result<CompareResponse, ServiceError> {
-        let plan = req.workload.build()?;
+        let plan = build_workload(&req.workload)?;
         let mixed = self.optimize(&OptimizeRequest::new(req.workload).with_policy(req.policy))?;
         let mixed_raw = raw_assignments(&self.registry, &mixed)?;
         let Optimizer {
@@ -388,14 +467,17 @@ impl Optimizer {
             feats,
             ..
         } = self;
+        // Runtime numbers flow through the ExecutionBackend seam; for the
+        // simulator backend `seconds` is bit-identical to `simulate_raw`.
         let sim = RuntimeSimulator::new(registry, req.sim_seed);
-        let mixed_sim_seconds = sim.simulate_raw(&plan, &mixed_raw);
+        let backend: &dyn ExecutionBackend = &sim;
+        let mixed_sim_seconds = backend.execute_raw(&plan, &mixed_raw).seconds;
 
         let mut singles = Vec::with_capacity(registry.len());
         let mut best_single_cost: Option<f64> = None;
         for id in registry.ids().collect::<Vec<_>>() {
             let single =
-                single_platform_plan(registry, layout, oracle.as_dyn(), feats, &plan, id, &sim);
+                single_platform_plan(registry, layout, oracle.as_dyn(), feats, &plan, id, backend);
             if let Some(cost) = single.cost {
                 best_single_cost = Some(match best_single_cost {
                     Some(best) if best <= cost => best,
@@ -425,7 +507,7 @@ impl Optimizer {
         req: &OptimizeRequest,
         sig: u64,
     ) -> Result<OptimizeResponse, ServiceError> {
-        let plan = req.workload.build()?;
+        let plan = build_workload(&req.workload)?;
         self.enumerate_response(req, sig, &plan)
     }
 
@@ -468,9 +550,9 @@ impl Optimizer {
     }
 }
 
-/// Cost + simulate a plan pinned entirely onto `id`, if feasible. Free
+/// Cost + run a plan pinned entirely onto `id`, if feasible. Free
 /// function (not a method) so `compare` can call it with the facade's
-/// fields individually borrowed while the simulator holds the registry.
+/// fields individually borrowed while the backend holds the registry.
 fn single_platform_plan(
     registry: &PlatformRegistry,
     layout: &FeatureLayout,
@@ -478,7 +560,7 @@ fn single_platform_plan(
     feats: &mut Vec<f64>,
     plan: &LogicalPlan,
     id: PlatformId,
-    sim: &RuntimeSimulator<'_>,
+    backend: &dyn ExecutionBackend,
 ) -> SinglePlatformPlan {
     let name = registry.platform(id).name.clone();
     let feasible = (0..plan.n_ops() as u32).all(|op| registry.is_available(plan.op(op).kind, id));
@@ -492,11 +574,33 @@ fn single_platform_plan(
     let raw = vec![id.raw(); plan.n_ops()];
     vectorize_assignment(plan, layout, &raw, feats);
     let cost = oracle.cost_row(feats);
-    let seconds = sim.simulate_raw(plan, &raw);
+    let report = backend.execute_raw(plan, &raw);
     SinglePlatformPlan {
         platform: name,
         cost: Some(cost),
-        sim_seconds: seconds.is_finite().then_some(seconds),
+        sim_seconds: report.feasible.then_some(report.seconds),
+    }
+}
+
+/// Shape an [`ExecutionReport`] into the wire-facing [`ExecuteResponse`].
+fn render_execute_response(
+    spec: &crate::api::WorkloadSpec,
+    assignments: Vec<String>,
+    report: &ExecutionReport,
+) -> ExecuteResponse {
+    ExecuteResponse {
+        workload: spec.name(),
+        backend: report.backend.to_string(),
+        assignments,
+        seconds: report.seconds,
+        compute_seconds: report.compute_seconds,
+        overhead_seconds: report.overhead_seconds,
+        feasible: report.feasible,
+        measured: report.measured,
+        output_rows: report.output_rows,
+        output_digest: report.output_digest,
+        op_seconds: report.per_op.iter().map(|o| o.seconds).collect(),
+        op_output_rows: report.per_op.iter().map(|o| o.output_rows).collect(),
     }
 }
 
@@ -691,6 +795,60 @@ mod tests {
                 "the optimum cannot lose to a single"
             );
         }
+    }
+
+    #[test]
+    fn execute_on_the_engine_really_runs_the_plan() {
+        let mut opt = Optimizer::named();
+        let req = ExecuteRequest::new(WorkloadSpec::WordCount { scale: 1e4 });
+        let resp = opt.execute(&req).expect("engine execute");
+        assert_eq!(resp.backend, "engine");
+        assert!(resp.feasible && resp.measured);
+        assert!(resp.seconds.is_finite() && resp.seconds > 0.0);
+        assert!(resp.output_rows > 0, "wordcount must deliver counts");
+        assert_ne!(resp.output_digest, 0);
+        let n_ops = resp.assignments.len();
+        assert_eq!(resp.op_seconds.len(), n_ops);
+        assert_eq!(resp.op_output_rows.len(), n_ops);
+
+        // Engine outputs are invariant across worker counts; only the
+        // measured timings may move.
+        let wide = opt
+            .execute(
+                &req.clone()
+                    .with_backend(BackendChoice::Engine { workers: 4 }),
+            )
+            .expect("4-worker execute");
+        assert_eq!(resp.output_digest, wide.output_digest);
+        assert_eq!(resp.output_rows, wide.output_rows);
+        assert_eq!(resp.op_output_rows, wide.op_output_rows);
+    }
+
+    #[test]
+    fn execute_on_the_simulator_matches_the_simulate_verb() {
+        let mut opt = Optimizer::named();
+        let spec = WorkloadSpec::TpchQ3 { scale: 1e5 };
+        let sim = opt
+            .simulate(&SimulateRequest {
+                workload: spec,
+                assignments: Vec::new(),
+                seed: 13,
+                noise: 0.2,
+            })
+            .expect("simulate");
+        let exec = opt
+            .execute(
+                &ExecuteRequest::new(spec)
+                    .with_backend(BackendChoice::Simulator {
+                        seed: 13,
+                        noise: 0.2,
+                    })
+                    .with_assignments(sim.assignments.clone()),
+            )
+            .expect("execute via simulator backend");
+        assert_eq!(exec.backend, "simulator");
+        assert!(!exec.measured);
+        assert_eq!(sim.seconds.to_bits(), exec.seconds.to_bits());
     }
 
     #[test]

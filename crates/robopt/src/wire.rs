@@ -14,9 +14,9 @@
 //! from the wire.
 
 use crate::api::{
-    CompareRequest, CompareResponse, ExecutionPolicy, OptimizeRequest, OptimizeResponse,
-    ServiceError, SimulateRequest, SimulateResponse, StatsResponse, TrainRequest, TrainResponse,
-    TrainSource, WorkloadSpec,
+    BackendChoice, CompareRequest, CompareResponse, ExecuteRequest, ExecuteResponse,
+    ExecutionPolicy, OptimizeRequest, OptimizeResponse, ServiceError, SimulateRequest,
+    SimulateResponse, StatsResponse, TrainRequest, TrainResponse, TrainSource, WorkloadSpec,
 };
 use crate::json::{self, escape_into, JsonValue};
 
@@ -29,6 +29,8 @@ pub enum Request {
     Train(TrainRequest),
     /// `{"op":"simulate", ...}`
     Simulate(SimulateRequest),
+    /// `{"op":"execute", "workload":{...}, "backend":"engine", ...}`
+    Execute(ExecuteRequest),
     /// `{"op":"compare", ...}`
     Compare(CompareRequest),
     /// `{"op":"stats"}`
@@ -46,6 +48,8 @@ pub enum Response {
     Train(TrainResponse),
     /// Simulation result.
     Simulate(SimulateResponse),
+    /// Execution result.
+    Execute(ExecuteResponse),
     /// Comparison result.
     Compare(CompareResponse),
     /// Telemetry snapshot.
@@ -91,18 +95,25 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
         }
         "simulate" => Ok(Request::Simulate(SimulateRequest {
             workload: parse_workload(&doc)?,
-            assignments: doc
-                .get("assignments")
-                .and_then(JsonValue::as_arr)
-                .map(|items| {
-                    items
-                        .iter()
-                        .filter_map(|v| v.as_str().map(str::to_string))
-                        .collect()
-                })
-                .unwrap_or_default(),
+            assignments: parse_assignments(&doc),
             seed: field_u64(&doc, "seed").unwrap_or(42),
             noise: field_f64(&doc, "noise").unwrap_or(0.0),
+        })),
+        "execute" => Ok(Request::Execute(ExecuteRequest {
+            workload: parse_workload(&doc)?,
+            assignments: parse_assignments(&doc),
+            backend: match doc.get("backend").and_then(JsonValue::as_str) {
+                None | Some("engine") => BackendChoice::Engine {
+                    workers: field_usize(&doc, "workers").unwrap_or(2),
+                },
+                Some("simulator") => BackendChoice::Simulator {
+                    seed: field_u64(&doc, "seed").unwrap_or(42),
+                    noise: field_f64(&doc, "noise").unwrap_or(0.0),
+                },
+                Some(other) => {
+                    return Err(ServiceError::Parse(format!("unknown backend {other:?}")))
+                }
+            },
         })),
         "compare" => Ok(Request::Compare(CompareRequest {
             workload: parse_workload(&doc)?,
@@ -142,6 +153,31 @@ pub fn render_response(resp: &Response) -> String {
                 num(r.seconds),
                 r.feasible
             ));
+            s
+        }
+        Response::Execute(r) => {
+            let mut s = String::from("{\"ok\":true,\"kind\":\"execute\",\"workload\":");
+            push_str_value(&mut s, &r.workload);
+            s.push_str(",\"backend\":");
+            push_str_value(&mut s, &r.backend);
+            s.push_str(",\"assignments\":");
+            push_str_array(&mut s, &r.assignments);
+            s.push_str(&format!(
+                ",\"seconds\":{},\"compute_seconds\":{},\"overhead_seconds\":{},\
+                 \"feasible\":{},\"measured\":{},\"output_rows\":{},\"output_digest\":{}",
+                num(r.seconds),
+                num(r.compute_seconds),
+                num(r.overhead_seconds),
+                r.feasible,
+                r.measured,
+                r.output_rows,
+                r.output_digest
+            ));
+            s.push_str(",\"op_seconds\":");
+            push_num_array(&mut s, &r.op_seconds);
+            s.push_str(",\"op_output_rows\":");
+            push_u64_array(&mut s, &r.op_output_rows);
+            s.push('}');
             s
         }
         Response::Compare(r) => {
@@ -258,6 +294,28 @@ fn push_str_array(s: &mut String, items: &[String]) {
     s.push(']');
 }
 
+fn push_num_array(s: &mut String, items: &[f64]) {
+    s.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&num(*item));
+    }
+    s.push(']');
+}
+
+fn push_u64_array(s: &mut String, items: &[u64]) {
+    s.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&item.to_string());
+    }
+    s.push(']');
+}
+
 fn parse_workload(doc: &JsonValue) -> Result<WorkloadSpec, ServiceError> {
     let w = doc
         .get("workload")
@@ -281,6 +339,14 @@ fn parse_workload(doc: &JsonValue) -> Result<WorkloadSpec, ServiceError> {
             seed: field_u64(w, "seed").unwrap_or(1),
             ops: field_usize(w, "ops").unwrap_or(16),
             density: field_f64(w, "density").unwrap_or(0.3),
+        }),
+        "pagerank" => Ok(WorkloadSpec::PageRank {
+            scale: field_f64(w, "scale").unwrap_or(1e5),
+            iterations: field_u32(w, "iterations").unwrap_or(10),
+        }),
+        "kmeans" => Ok(WorkloadSpec::KMeans {
+            scale: field_f64(w, "scale").unwrap_or(1e5),
+            iterations: field_u32(w, "iterations").unwrap_or(10),
         }),
         other => Err(ServiceError::Parse(format!(
             "unknown workload kind {other:?}"
@@ -317,6 +383,23 @@ fn field_u64(v: &JsonValue, key: &str) -> Option<u64> {
 
 fn field_usize(v: &JsonValue, key: &str) -> Option<usize> {
     v.get(key).and_then(JsonValue::as_usize)
+}
+
+fn field_u32(v: &JsonValue, key: &str) -> Option<u32> {
+    field_u64(v, key).and_then(|n| u32::try_from(n).ok())
+}
+
+/// The optional `"assignments"` string array shared by simulate/execute.
+fn parse_assignments(doc: &JsonValue) -> Vec<String> {
+    doc.get("assignments")
+        .and_then(JsonValue::as_arr)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -378,6 +461,90 @@ mod tests {
         assert_eq!(bits, (0.1f64 + 0.2).to_bits(), "bit-exact cost transport");
         let cost = doc.get("cost").and_then(JsonValue::as_f64).expect("cost");
         assert_eq!(cost.to_bits(), bits, "shortest-round-trip decimal agrees");
+    }
+
+    #[test]
+    fn execute_request_parses_backends_and_iterative_workloads() {
+        let engine = parse_request(
+            r#"{"op":"execute","workload":{"kind":"pagerank","scale":2e4,"iterations":5},"workers":4}"#,
+        )
+        .expect("parse engine execute");
+        assert_eq!(
+            engine,
+            Request::Execute(ExecuteRequest {
+                workload: WorkloadSpec::PageRank {
+                    scale: 2e4,
+                    iterations: 5,
+                },
+                assignments: Vec::new(),
+                backend: BackendChoice::Engine { workers: 4 },
+            })
+        );
+        let sim = parse_request(
+            r#"{"op":"execute","workload":{"kind":"kmeans","scale":1e4},"backend":"simulator","seed":7,"noise":0.1,"assignments":["java","java"]}"#,
+        )
+        .expect("parse simulator execute");
+        assert_eq!(
+            sim,
+            Request::Execute(ExecuteRequest {
+                workload: WorkloadSpec::KMeans {
+                    scale: 1e4,
+                    iterations: 10,
+                },
+                assignments: vec!["java".to_string(), "java".to_string()],
+                backend: BackendChoice::Simulator {
+                    seed: 7,
+                    noise: 0.1,
+                },
+            })
+        );
+        assert!(matches!(
+            parse_request(r#"{"op":"execute","workload":{"kind":"wordcount"},"backend":"abacus"}"#),
+            Err(ServiceError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn execute_response_renders_every_field_exactly() {
+        let resp = Response::Execute(ExecuteResponse {
+            workload: "pagerank(1e5,iters=10)".to_string(),
+            backend: "engine".to_string(),
+            assignments: vec!["java".to_string()],
+            seconds: 1.25,
+            compute_seconds: 1.0,
+            overhead_seconds: 0.25,
+            feasible: true,
+            measured: true,
+            output_rows: 64,
+            output_digest: u64::MAX - 1,
+            op_seconds: vec![0.5, 0.75],
+            op_output_rows: vec![100, 64],
+        });
+        let line = render_response(&resp);
+        let doc = crate::json::parse(&line).expect("valid JSON");
+        assert_eq!(doc.get("kind").and_then(JsonValue::as_str), Some("execute"));
+        // The digest is a full-width u64 and must survive exactly.
+        assert_eq!(
+            doc.get("output_digest").and_then(JsonValue::as_u64),
+            Some(u64::MAX - 1)
+        );
+        assert_eq!(doc.get("measured").and_then(JsonValue::as_bool), Some(true));
+        for key in [
+            "workload",
+            "backend",
+            "assignments",
+            "seconds",
+            "compute_seconds",
+            "overhead_seconds",
+            "feasible",
+            "measured",
+            "output_rows",
+            "output_digest",
+            "op_seconds",
+            "op_output_rows",
+        ] {
+            assert!(doc.get(key).is_some(), "missing wire field {key:?}");
+        }
     }
 
     #[test]

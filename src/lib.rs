@@ -31,8 +31,12 @@
 //!   facade: request/response API, plan-signature cache, forest
 //!   persistence, and the wire protocol the `robopt` binary speaks;
 //! * [`robopt_cli`] — the `robopt` binary: `serve` daemon plus one-shot
-//!   `optimize` / `train` / `simulate` / `compare` subcommands;
-//! * [`robopt_engine`] — stub landing in a later PR.
+//!   `optimize` / `train` / `simulate` / `compare` / `execute`
+//!   subcommands;
+//! * [`robopt_engine`] — the real multi-threaded in-memory dataflow
+//!   executor behind the `ExecutionBackend` seam: seeded data
+//!   generators, partition-parallel operators, iterative PageRank /
+//!   k-means kernels, byte-identical outputs across worker counts.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -51,18 +55,21 @@ pub use robopt_vector as vector;
 /// Convenience prelude for examples and tests.
 pub mod prelude {
     pub use robopt::{
-        ExecutionPolicy, OptimizeRequest, OptimizeResponse, Optimizer, ServiceError, WorkloadSpec,
+        BackendChoice, ExecuteRequest, ExecuteResponse, ExecutionPolicy, OptimizeRequest,
+        OptimizeResponse, Optimizer, ServiceError, WorkloadSpec,
     };
     pub use robopt_core::{
         uniform_oracle, AnalyticOracle, CostOracle, EnumOptions, EnumStats, Enumerator,
     };
+    pub use robopt_engine::{execute_reference, Engine};
     pub use robopt_ml::{
         r_squared, simulator_training_set, spearman, ForestConfig, LinearModel, Metrics, Model,
         ModelOracle, RandomForest, SamplerConfig, SimulatorSource, TrainingSet, TrainingSource,
     };
     pub use robopt_plan::{workloads, LogicalPlan, Operator, OperatorKind, SplitMix64};
     pub use robopt_platforms::{
-        Platform, PlatformId, PlatformRegistry, RuntimeSimulator, MAX_PLATFORMS,
+        ExecutionBackend, ExecutionReport, Platform, PlatformId, PlatformRegistry,
+        RuntimeSimulator, MAX_PLATFORMS,
     };
     pub use robopt_tdgen::{tdgen_training_set, ShapeKind, TdgenConfig, TdgenGenerator};
     pub use robopt_vector::{EnumMatrix, FeatureLayout, RowsView, Scope};

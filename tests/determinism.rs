@@ -19,9 +19,10 @@ use std::process::Command;
 
 use robopt::{ExecutionPolicy, OptimizeRequest, Optimizer, WorkloadSpec};
 use robopt_baselines::ObjectEnumerator;
+use robopt_engine::Engine;
 use robopt_ml::{simulator_training_set, ForestConfig, RandomForest, SamplerConfig};
 use robopt_plan::{SplitMix64, N_OPERATOR_KINDS};
-use robopt_platforms::PlatformRegistry;
+use robopt_platforms::{ExecutionBackend, PlatformRegistry};
 use robopt_vector::FeatureLayout;
 
 const CHILD_ENV: &str = "ROBOPT_DETERMINISM_CHILD";
@@ -124,6 +125,42 @@ fn seeded_run_digest() -> u64 {
     let rows = probe.rows_view();
     for r in 0..rows.rows() {
         mix(&mut h, forest.predict(rows.row(r)).to_bits());
+    }
+
+    // Real engine runs (ISSUE 8): output digests and cardinalities are
+    // contractually pure functions of (plan, seed, row cap) — worker count
+    // must not appear in the bytes, so different counts per workload feed
+    // the same digest stream. Timings are measured and never digested.
+    let java = registry.by_name("java").expect("named registry has java");
+    for (spec, workers) in [
+        (WorkloadSpec::WordCount { scale: 1.0e4 }, 1usize),
+        (WorkloadSpec::TpchQ3 { scale: 5.0e3 }, 2),
+        (
+            WorkloadSpec::PageRank {
+                scale: 2.0e3,
+                iterations: 3,
+            },
+            3,
+        ),
+        (
+            WorkloadSpec::KMeans {
+                scale: 2.0e3,
+                iterations: 3,
+            },
+            4,
+        ),
+    ] {
+        let plan = spec.build().expect("workload spec builds");
+        let engine = Engine::new(&registry)
+            .with_workers(workers)
+            .with_seed(0x00D1_6E57);
+        let report = engine.execute(&plan, &vec![java; plan.n_ops()]);
+        assert!(report.feasible, "all-java engine run must be feasible");
+        mix(&mut h, report.output_digest);
+        mix(&mut h, report.output_rows);
+        for op in &report.per_op {
+            mix(&mut h, op.output_rows);
+        }
     }
     h
 }

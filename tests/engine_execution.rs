@@ -1,0 +1,140 @@
+//! Engine-subsystem integration tests (DESIGN §11):
+//!
+//! * byte-identity — the multi-threaded engine's terminal record streams
+//!   equal the independent single-threaded reference executor's, for every
+//!   workload family and across 1/2/4 workers;
+//! * the `ExecutionBackend` seam — the simulator answers bit-identically
+//!   through the trait object and through its direct API, and both
+//!   backends agree on infeasibility;
+//! * the `execute` service verb — digests reported by the facade match a
+//!   directly-constructed engine, and the engine escape hatch matches the
+//!   service path.
+
+use robopt::{BackendChoice, ExecuteRequest, Optimizer, WorkloadSpec};
+use robopt_engine::{digest_terminals, execute_reference, Engine, DEFAULT_MAX_SOURCE_ROWS};
+use robopt_platforms::{ExecutionBackend, PlatformRegistry, RuntimeSimulator};
+
+const SEED: u64 = 0x0E6E_7E57;
+
+fn workloads() -> Vec<(&'static str, WorkloadSpec)> {
+    vec![
+        ("wordcount", WorkloadSpec::WordCount { scale: 2.0e4 }),
+        ("tpch_q3", WorkloadSpec::TpchQ3 { scale: 1.0e4 }),
+        (
+            "pagerank",
+            WorkloadSpec::PageRank {
+                scale: 3.0e3,
+                iterations: 4,
+            },
+        ),
+        (
+            "kmeans",
+            WorkloadSpec::KMeans {
+                scale: 3.0e3,
+                iterations: 4,
+            },
+        ),
+        (
+            "pipeline",
+            WorkloadSpec::Pipeline {
+                ops: 10,
+                scale: 1.0e4,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn engine_output_is_byte_identical_to_the_reference_across_worker_counts() {
+    let registry = PlatformRegistry::named();
+    let java = registry.by_name("java").expect("named registry has java");
+    for (name, spec) in workloads() {
+        let plan = spec.build().expect("workload spec builds");
+        let all_java = vec![java; plan.n_ops()];
+        let (ref_terminals, ref_digest) = execute_reference(&plan, SEED, DEFAULT_MAX_SOURCE_ROWS);
+        assert_eq!(
+            digest_terminals(&ref_terminals),
+            ref_digest,
+            "{name}: reference digest disagrees with its own terminals"
+        );
+        for workers in [1usize, 2, 4] {
+            let engine = Engine::new(&registry).with_workers(workers).with_seed(SEED);
+            let out = engine.execute_collect(&plan, &all_java);
+            assert!(out.report.feasible, "{name}: all-java must be feasible");
+            assert_eq!(
+                out.terminals, ref_terminals,
+                "{name}: engine terminals @ {workers} workers != reference"
+            );
+            assert_eq!(
+                out.report.output_digest, ref_digest,
+                "{name}: engine digest @ {workers} workers != reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn backend_trait_object_answers_bit_identically_to_the_direct_simulator() {
+    let registry = PlatformRegistry::named();
+    let spec = WorkloadSpec::TpchQ3 { scale: 1.0e5 };
+    let plan = spec.build().expect("workload spec builds");
+    let java = registry.by_name("java").unwrap();
+    let spark = registry.by_name("spark").unwrap();
+    let mixed: Vec<_> = (0..plan.n_ops())
+        .map(|i| if i % 2 == 0 { java } else { spark })
+        .collect();
+    let sim = RuntimeSimulator::new(&registry, 42).with_noise(0.05);
+    let direct = sim.simulate(&plan, &mixed);
+    let via_trait: &dyn ExecutionBackend = &sim;
+    let report = via_trait.execute(&plan, &mixed);
+    assert!(report.feasible);
+    assert!(!report.measured, "simulator reports are fully modeled");
+    assert_eq!(report.seconds.to_bits(), direct.to_bits());
+}
+
+#[test]
+fn both_backends_agree_an_unavailable_placement_is_infeasible() {
+    let registry = PlatformRegistry::named();
+    let plan = WorkloadSpec::WordCount { scale: 1.0e3 }
+        .build()
+        .expect("workload spec builds");
+    // Postgres lacks WordCount's operators (Fig 10 excludes it from the
+    // candidate set for the same reason).
+    let postgres = registry.by_name("postgres").unwrap();
+    let all_pg = vec![postgres; plan.n_ops()];
+    let sim = RuntimeSimulator::new(&registry, 0);
+    let engine = Engine::new(&registry);
+    for backend in [&sim as &dyn ExecutionBackend, &engine] {
+        let report = backend.execute(&plan, &all_pg);
+        assert!(!report.feasible, "{}: all-postgres ran", backend.name());
+        assert!(report.seconds.is_infinite());
+        assert_eq!(report.output_digest, 0);
+        assert!(report.per_op.is_empty());
+    }
+    // The engine (only) also reports a wrong-arity assignment as
+    // infeasible instead of panicking — the seam's lenient edge.
+    let short = vec![postgres; plan.n_ops() - 1];
+    assert!(!engine.execute(&plan, &short).feasible);
+}
+
+#[test]
+fn execute_verb_digest_matches_a_directly_constructed_engine() {
+    let mut opt = Optimizer::new(PlatformRegistry::named());
+    let spec = WorkloadSpec::WordCount { scale: 1.0e4 };
+    let plan = spec.build().expect("workload spec builds");
+    let req = ExecuteRequest::new(spec)
+        .with_assignments(vec!["java".into(); plan.n_ops()])
+        .with_backend(BackendChoice::Engine { workers: 2 });
+    let resp = opt.execute(&req).expect("execute verb succeeds");
+    assert!(resp.feasible && resp.measured);
+
+    // The escape hatch (DESIGN §11) must reproduce the service path's
+    // data artifacts exactly; only its timings may differ run to run.
+    let registry = PlatformRegistry::named();
+    let java = registry.by_name("java").unwrap();
+    let hatch = opt.engine(2);
+    let report = hatch.execute(&plan, &vec![java; plan.n_ops()]);
+    assert_eq!(resp.output_digest, report.output_digest);
+    assert_eq!(resp.output_rows, report.output_rows);
+    assert_eq!(resp.op_output_rows.len(), plan.n_ops());
+}
