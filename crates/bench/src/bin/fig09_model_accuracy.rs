@@ -21,8 +21,8 @@ use std::fs;
 use robopt::{OptimizeRequest, Optimizer, SimulateRequest, WorkloadSpec};
 use robopt_bench::repo_root;
 use robopt_ml::{
-    simulator_training_set, ForestConfig, LinearModel, Metrics, Model, RandomForest, SamplerConfig,
-    TrainingSet,
+    simulator_training_set, CostDistribution, DistModel, ForestConfig, LinearModel, Metrics, Model,
+    RandomForest, SamplerConfig, TrainingSet,
 };
 use robopt_plan::N_OPERATOR_KINDS;
 use robopt_platforms::PlatformRegistry;
@@ -102,6 +102,23 @@ fn main() {
         final_forest = Some(forest);
     }
     let forest = final_forest.expect("at least one sweep point");
+
+    // Distributional seam (ISSUE 9, DESIGN §12): the forest's
+    // `predict_dist_batch` mean column must be bit-identical to
+    // `predict_batch` on the same rows — uncertainty reporting is one
+    // forest pass, never a second (possibly divergent) estimator.
+    let mut point_preds = Vec::new();
+    forest.predict_batch(heldout.rows_view(), &mut point_preds);
+    let mut dist = CostDistribution::default();
+    forest.predict_dist_batch(heldout.rows_view(), &mut dist);
+    let dist_mean_parity = point_preds.len() == dist.mean.len()
+        && point_preds
+            .iter()
+            .zip(&dist.mean)
+            .all(|(p, m)| p.to_bits() == m.to_bits());
+    let dist_bands_ordered = (0..dist.mean.len())
+        .all(|r| dist.std[r] >= 0.0 && dist.q10[r] <= dist.q50[r] && dist.q50[r] <= dist.q90[r]);
+    let mean_heldout_std = dist.std.iter().sum::<f64>() / dist.std.len().max(1) as f64;
 
     // End-to-end: the forest (behind `&dyn CostOracle`) vs the analytic
     // oracle, both driving enumeration through the service facade on
@@ -185,6 +202,18 @@ fn main() {
     );
     let _ = writeln!(
         report,
+        "CHECK predict_dist_batch mean bit-identical to predict_batch \
+         ({} held-out rows, mean per-row std {:.4} log-units): {}",
+        dist.mean.len(),
+        mean_heldout_std,
+        if dist_mean_parity && dist_bands_ordered {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    let _ = writeln!(
+        report,
         "paper shape: learned model accuracy improves with training size; \
          linear baseline plateaus on the non-linear runtime surface"
     );
@@ -205,6 +234,12 @@ fn main() {
     let _ = writeln!(json, "  \"heldout_rows\": {},", heldout.len());
     let _ = writeln!(
         json,
+        "  \"dist_mean_parity\": {},",
+        dist_mean_parity && dist_bands_ordered
+    );
+    let _ = writeln!(json, "  \"heldout_mean_std_log\": {mean_heldout_std:.6},");
+    let _ = writeln!(
+        json,
         "  \"end_to_end\": {{\"workload\": \"wordcount_1e7\", \"forest_sim_s\": {forest_sim_s:.4}, \"analytic_sim_s\": {analytic_sim_s:.4}}},"
     );
     json.push_str("  \"entries\": [\n");
@@ -220,7 +255,7 @@ fn main() {
     fs::write(root.join("BENCH_model_accuracy.json"), json)
         .expect("write BENCH_model_accuracy.json");
 
-    if !forest_always_wins || !e2e_ok {
+    if !forest_always_wins || !e2e_ok || !dist_mean_parity || !dist_bands_ordered {
         eprintln!("fig09 acceptance checks FAILED");
         std::process::exit(1);
     }

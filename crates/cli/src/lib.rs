@@ -21,8 +21,8 @@ use std::io::{BufRead, BufReader, Write};
 
 use robopt::{
     parse_request, render_response, BackendChoice, ExecuteRequest, ExecutionPolicy,
-    OptimizeRequest, Optimizer, Request, Response, ServiceError, TrainRequest, TrainSource,
-    WorkloadSpec,
+    OptimizeRequest, Optimizer, Request, Response, RiskPolicy, ServiceError, TrainRequest,
+    TrainSource, WorkloadSpec,
 };
 
 /// Successful run.
@@ -63,12 +63,14 @@ const USAGE: &str = "robopt — optimizer-as-a-service for cross-platform query 
 
 USAGE:
   robopt serve [--tcp PORT] [--cache-capacity N] [--no-cache] [--model FILE]
+               [--risk POLICY]
       Line-delimited JSON request loop ({\"op\":\"optimize\"|\"train\"|
       \"simulate\"|\"compare\"|\"stats\"|\"quit\"}) over stdin or a
-      loopback TCP socket.
+      loopback TCP socket. --risk sets the session default policy for
+      optimize requests that don't carry their own.
 
   robopt optimize [workload flags] [--workers N] [--split-parts N]
-                  [--no-prune] [--model FILE]
+                  [--no-prune] [--model FILE] [--risk POLICY]
   robopt simulate [workload flags] [--seed N] [--noise X] [--model FILE]
   robopt execute  [workload flags] [--backend engine|simulator]
                   [--engine-workers N] [--assign p1,p2,...] [--seed N]
@@ -87,7 +89,12 @@ WORKLOAD FLAGS:
   --ops N        operator count for pipeline/random_dag (default 16)
   --dag-seed N   random_dag shape seed (default 1)
   --density X    random_dag extra-edge probability (default 0.3)
-  --iterations N loop trips for pagerank/kmeans (default 10)";
+  --iterations N loop trips for pagerank/kmeans (default 10)
+
+RISK POLICIES (--risk):
+  expected       rank plans by mean predicted cost (default)
+  sigma<k>       mean + k standard deviations, e.g. sigma1.5
+  q<q>           cost quantile, q in (0,1), e.g. q0.9";
 
 /// One-shot verbs sharing the workload/policy flag surface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +208,11 @@ fn backend_from_flags(flags: &Flags) -> Result<BackendChoice, String> {
     }
 }
 
+/// `--risk expected|sigma<k>|q<q>` into a policy, `None` when absent.
+fn risk_from_flags(flags: &Flags) -> Result<Option<RiskPolicy>, String> {
+    flags.get("--risk").map(RiskPolicy::parse).transpose()
+}
+
 fn policy_from_flags(flags: &Flags) -> Result<ExecutionPolicy, String> {
     let mut policy = ExecutionPolicy::default()
         .with_workers(flags.parse("--workers", 1usize)?)
@@ -232,6 +244,9 @@ fn optimizer_from_flags(flags: &Flags) -> Result<Optimizer, String> {
         let forest = robopt::forest_from_json(&text).map_err(|e| e.to_string())?;
         opt.install_forest(forest).map_err(|e| e.to_string())?;
     }
+    // Session-wide default; `robopt serve --risk` applies it to every
+    // optimize request that doesn't carry its own policy.
+    opt.set_default_risk(risk_from_flags(flags)?);
     Ok(opt)
 }
 
@@ -244,9 +259,14 @@ fn cmd_one_shot(args: &[String], verb: Verb) -> i32 {
         let opt = optimizer_from_flags(&flags)?;
         let workload = workload_from_flags(&flags)?;
         let req = match verb {
-            Verb::Optimize => Request::Optimize(
-                OptimizeRequest::new(workload).with_policy(policy_from_flags(&flags)?),
-            ),
+            Verb::Optimize => {
+                let mut oreq =
+                    OptimizeRequest::new(workload).with_policy(policy_from_flags(&flags)?);
+                if let Some(risk) = risk_from_flags(&flags)? {
+                    oreq = oreq.with_risk(risk);
+                }
+                Request::Optimize(oreq)
+            }
             Verb::Simulate => Request::Simulate(robopt::SimulateRequest {
                 workload,
                 assignments: Vec::new(),
@@ -568,6 +588,32 @@ mod tests {
         assert!(line.contains("\"quit\""), "{line}");
 
         assert_eq!(server.join().expect("server thread"), EXIT_OK);
+    }
+
+    #[test]
+    fn risk_flag_parses_policies_and_rejects_garbage() {
+        let flags = parse_flags(&["--risk".to_string(), "sigma1.5".to_string()]).expect("flags");
+        assert_eq!(
+            risk_from_flags(&flags).expect("parse"),
+            Some(RiskPolicy::MeanPlusKSigma(1.5))
+        );
+        assert_eq!(risk_from_flags(&Flags::default()).expect("absent"), None);
+        let bad = parse_flags(&["--risk".to_string(), "wild".to_string()]).expect("flags");
+        assert!(
+            risk_from_flags(&bad).is_err(),
+            "unknown policy is a usage error"
+        );
+        // End to end: the one-shot verb carries the policy onto the wire.
+        let script = concat!(
+            r#"{"op":"optimize","workload":{"kind":"wordcount","scale":1e6},"risk":"q0.9"}"#,
+            "\n",
+        );
+        let mut opt = Optimizer::named();
+        let mut out = Vec::new();
+        serve_lines(&mut opt, script.as_bytes(), &mut out);
+        let text = String::from_utf8(out).expect("utf-8 output");
+        assert!(text.contains("\"risk_policy\":\"q0.9\""), "{text}");
+        assert!(text.contains("\"cost_std\":"), "{text}");
     }
 
     #[test]

@@ -29,6 +29,7 @@ use robopt_vector::{
     footprint_hash, EnumMatrix, FeatureLayout, FootprintTable, RowsView, Scope, NO_PLATFORM,
 };
 
+use crate::dist::{CostDistribution, RiskPolicy};
 use crate::oracle::CostOracle;
 use crate::vectorize::{
     add_conversion_features, fill_singleton, vectorize_assignment, ExecutionPlan,
@@ -61,6 +62,7 @@ pub struct EnumOptions<'a> {
     registry: &'a PlatformRegistry,
     oracle: Option<&'a dyn CostOracle>,
     prune: bool,
+    risk: RiskPolicy,
 }
 
 impl std::fmt::Debug for EnumOptions<'_> {
@@ -69,6 +71,7 @@ impl std::fmt::Debug for EnumOptions<'_> {
             .field("n_platforms", &self.registry.len())
             .field("oracle_width", &self.oracle.map(|o| o.width()))
             .field("prune", &self.prune)
+            .field("risk", &self.risk)
             .finish()
     }
 }
@@ -82,6 +85,7 @@ impl<'a> EnumOptions<'a> {
             registry,
             oracle: None,
             prune: true,
+            risk: RiskPolicy::ExpectedCost,
         }
     }
 
@@ -96,6 +100,18 @@ impl<'a> EnumOptions<'a> {
     /// tiny test plans.
     pub fn with_prune(mut self, prune: bool) -> Self {
         self.prune = prune;
+        self
+    }
+
+    /// Set the [`RiskPolicy`] candidate rows are *ranked* by (DESIGN §12).
+    /// Under the default `ExpectedCost` the enumerator takes the classic
+    /// point-estimate path verbatim — bit-identical to pre-distributional
+    /// enumeration. Under any other policy, rows are scored through
+    /// [`CostOracle::cost_batch_dist`]: pruning keeps the cheapest
+    /// *risk-adjusted* row per footprint, while the reported plan cost
+    /// stays the canonical mean (see [`Enumerator::finish`]).
+    pub fn with_risk(mut self, risk: RiskPolicy) -> Self {
+        self.risk = risk;
         self
     }
 
@@ -118,6 +134,12 @@ impl<'a> EnumOptions<'a> {
     #[inline]
     pub fn prune(&self) -> bool {
         self.prune
+    }
+
+    /// The risk policy candidate rows are ranked by.
+    #[inline]
+    pub fn risk(&self) -> RiskPolicy {
+        self.risk
     }
 
     /// Number of platforms in the registry (the layout's `k`).
@@ -263,6 +285,9 @@ pub struct Enumerator {
     /// by [`merge_feats_many`] then conversion-patched in place.
     stage_block: Vec<f64>,
     cost_buf: Vec<f64>,
+    /// Distributional scratch for non-`ExpectedCost` risk policies; unused
+    /// (and unallocated) on the classic point path.
+    dist_buf: CostDistribution,
     boundary: Vec<u32>,
     crossing: Vec<(u32, u32)>,
     /// Per-block feasibility flags (`feas[ib]` for the current left row ×
@@ -321,6 +346,26 @@ impl Enumerator {
         m.reset(width, n_ops);
         m.reserve_rows(rows_hint);
         m
+    }
+
+    /// Fill `self.cost_buf` with the *ranking* score of every row of
+    /// `rows`. Under `ExpectedCost` this is the historical batched point
+    /// path verbatim — one [`CostOracle::cost_batch`] call, so the bits
+    /// cannot move. Under any other policy it is one
+    /// [`CostOracle::cost_batch_dist`] call followed by a per-row
+    /// [`RiskPolicy::score`] collapse. Either way the enumeration loop
+    /// downstream consumes one scalar per row and is policy-oblivious.
+    fn score_rows(&mut self, oracle: &dyn CostOracle, risk: RiskPolicy, rows: RowsView<'_>) {
+        if risk.is_expected() {
+            oracle.cost_batch(rows, &mut self.cost_buf);
+        } else {
+            oracle.cost_batch_dist(rows, &mut self.dist_buf);
+            self.cost_buf.clear();
+            self.cost_buf.reserve(self.dist_buf.len());
+            for r in 0..self.dist_buf.len() {
+                self.cost_buf.push(risk.score(&self.dist_buf, r));
+            }
+        }
     }
 
     /// Number of boundary operators of `scope`: operators inside with at
@@ -400,7 +445,7 @@ impl Enumerator {
                 mat.rows() > 0,
                 "operator {op} ({kind:?}) is unavailable on every registry platform"
             );
-            oracle.cost_batch(mat.rows_view(), &mut self.cost_buf);
+            self.score_rows(oracle, opts.risk(), mat.rows_view());
             for r in 0..mat.rows() {
                 mat.set_cost(r, self.cost_buf[r]);
             }
@@ -585,7 +630,7 @@ impl Enumerator {
                         add_conversion_features(plan, layout, u, v, pu, pv, feats);
                     }
                 }
-                oracle.cost_batch(RowsView::new(&block, width), &mut self.cost_buf);
+                self.score_rows(oracle, opts.risk(), RowsView::new(&block, width));
                 for ib in 0..b.mat.rows() {
                     if !self.feas[ib] {
                         continue;
@@ -641,7 +686,11 @@ impl Enumerator {
     /// one `cost_row` call. Selection uses the merge-tree costs, but the
     /// *reported* cost is a pure function of (plan, assignment, oracle),
     /// independent of the order floating-point additions happened in — so
-    /// serial and split-parallel enumeration agree on cost bits.
+    /// serial and split-parallel enumeration agree on cost bits. Under a
+    /// non-`ExpectedCost` risk policy the stored row costs are risk scores,
+    /// so `min_cost_row` picks the min-*risk* plan; the reported cost is
+    /// still the canonical mean of that winner (risk changes which plan
+    /// wins, never how its cost is quoted — DESIGN §12).
     pub(crate) fn finish(
         &mut self,
         plan: &LogicalPlan,
@@ -828,5 +877,89 @@ mod tests {
         let registry = PlatformRegistry::uniform(2);
         let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
         Enumerator::new().enumerate(&plan, &layout, EnumOptions::new(&registry));
+    }
+
+    /// Point-estimating oracle whose *distribution* marks one layout cell
+    /// as volatile: std is proportional to that cell's value, mean is the
+    /// analytic cost untouched.
+    struct SpreadOracle {
+        inner: AnalyticOracle,
+        risky_cell: usize,
+    }
+
+    impl CostOracle for SpreadOracle {
+        fn width(&self) -> usize {
+            self.inner.width()
+        }
+        fn cost_row(&self, feats: &[f64]) -> f64 {
+            self.inner.cost_row(feats)
+        }
+        fn cost_batch_dist(&self, rows: RowsView<'_>, out: &mut CostDistribution) {
+            self.inner.cost_batch(rows, &mut out.mean);
+            out.fill_point_from_mean();
+            for r in 0..rows.rows() {
+                out.std[r] = rows.row(r)[self.risky_cell] * 1e3;
+            }
+        }
+    }
+
+    #[test]
+    fn risk_policy_changes_selection_but_not_the_reported_cost_contract() {
+        let plan = workloads::wordcount(1e6);
+        let registry = PlatformRegistry::uniform(2);
+        let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
+        let inner = AnalyticOracle::for_registry(&registry, &layout);
+        let (base, _) = Enumerator::new().enumerate(
+            &plan,
+            &layout,
+            EnumOptions::new(&registry).with_oracle(&inner),
+        );
+        // The risky cell is the expected winner's input-tuple column, so a
+        // risk-averse policy must steer off that platform.
+        let winner = base.assignments[1].index();
+        let oracle = SpreadOracle {
+            inner: inner.clone(),
+            risky_cell: layout.platform_input_tuples(winner),
+        };
+
+        // ExpectedCost through the same distributional oracle: identical
+        // plan, identical cost bits (the classic path runs verbatim).
+        let (expected, _) = Enumerator::new().enumerate(
+            &plan,
+            &layout,
+            EnumOptions::new(&registry)
+                .with_oracle(&oracle)
+                .with_risk(RiskPolicy::ExpectedCost),
+        );
+        assert_eq!(expected.assignments, base.assignments);
+        assert_eq!(expected.cost.to_bits(), base.cost.to_bits());
+
+        // A strongly risk-averse policy abandons the volatile platform.
+        let (robust, _) = Enumerator::new().enumerate(
+            &plan,
+            &layout,
+            EnumOptions::new(&registry)
+                .with_oracle(&oracle)
+                .with_risk(RiskPolicy::MeanPlusKSigma(5.0)),
+        );
+        assert_ne!(robust.assignments, base.assignments, "risk must repick");
+        // The reported cost stays the canonical mean of the robust winner —
+        // quoted identically to what ExpectedCost would quote for that plan.
+        let mut feats = Vec::new();
+        crate::vectorize::vectorize_assignment(
+            &plan,
+            &layout,
+            &robust
+                .assignments
+                .iter()
+                .map(|p| p.raw())
+                .collect::<Vec<_>>(),
+            &mut feats,
+        );
+        assert_eq!(robust.cost.to_bits(), oracle.cost_row(&feats).to_bits());
+        assert!(
+            robust.cost >= base.cost,
+            "mean-optimal plan is mean-minimal"
+        );
     }
 }

@@ -4,6 +4,10 @@
 //!   trait (analytic model, learned `robopt_ml` models behind their
 //!   `ModelOracle` adapter, and test doubles all ride behind
 //!   `&dyn CostOracle`) and the registry-derived analytic oracle;
+//! * [`dist`] — distributional cost estimates: the [`dist::CostDistribution`]
+//!   struct-of-arrays buffer (per-row mean / std / quantiles) and the
+//!   [`dist::RiskPolicy`] scoring hook that collapses a distribution into
+//!   the scalar enumeration ranks by (DESIGN §12);
 //! * [`vectorize`] — whole-plan and singleton Fig-5 encodings, conversion
 //!   features, and `unvectorize` back to an executable platform assignment
 //!   over [`robopt_platforms::PlatformId`]s;
@@ -22,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
+pub mod dist;
 pub mod enumerate;
 pub mod oracle;
 pub mod parallel;
 pub mod split;
 pub mod vectorize;
 
+pub use dist::{CostDistribution, RiskPolicy};
 pub use enumerate::{EnumOptions, EnumStats, Enumerator};
 pub use oracle::{uniform_oracle, AnalyticOracle, CostOracle};
 pub use parallel::ParallelEnumerator;

@@ -19,6 +19,8 @@ use robopt_plan::N_OPERATOR_KINDS;
 use robopt_platforms::PlatformRegistry;
 use robopt_vector::{FeatureLayout, RowsView};
 
+use crate::dist::CostDistribution;
+
 /// A cost model consuming plan-vector rows.
 ///
 /// Object-safe by design: enumerators and baselines take `&dyn CostOracle`,
@@ -60,6 +62,26 @@ pub trait CostOracle: Sync {
         for r in 0..rows.rows() {
             out.push(self.cost_row(rows.row(r)));
         }
+    }
+
+    /// Cost every row of `rows` into `out` as a *distribution* (DESIGN
+    /// §12). The default treats the oracle as a point estimator: the mean
+    /// column is exactly [`CostOracle::cost_batch`] and the spread is
+    /// degenerate (`std = 0`, quantiles equal to the mean), so every
+    /// existing oracle — the analytic model included — is a valid
+    /// distributional oracle without writing a line. Ensemble models
+    /// override this with one pass that keeps the per-member spread; the
+    /// mean column must stay bit-identical to `cost_batch`.
+    fn cost_batch_dist(&self, rows: RowsView<'_>, out: &mut CostDistribution) {
+        debug_assert_eq!(
+            rows.width(),
+            self.width(),
+            "batch rows of width {} fed to an oracle expecting {}",
+            rows.width(),
+            self.width()
+        );
+        self.cost_batch(rows, &mut out.mean);
+        out.fill_point_from_mean();
     }
 }
 
@@ -286,6 +308,30 @@ mod tests {
         assert_eq!(fast.len(), rows);
         for (a, b) in fast.iter().zip(&slow) {
             assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn default_dist_batch_is_the_degenerate_point_distribution() {
+        let layout = FeatureLayout::new(2, N_OPERATOR_KINDS);
+        let (_, oracle) = uniform_oracle(&layout);
+        let rows = 5;
+        let mut buf = vec![0.0; rows * layout.width];
+        for (i, cell) in buf.iter_mut().enumerate() {
+            *cell = (i % 11) as f64 * 0.25;
+        }
+        let view = RowsView::new(&buf, layout.width);
+        let mut point = Vec::new();
+        let mut dist = CostDistribution::new();
+        oracle.cost_batch(view, &mut point);
+        oracle.cost_batch_dist(view, &mut dist);
+        assert_eq!(dist.len(), rows);
+        for (r, p) in point.iter().enumerate() {
+            assert_eq!(dist.mean[r].to_bits(), p.to_bits(), "row {r}");
+            assert_eq!(dist.std[r], 0.0);
+            assert_eq!(dist.q10[r].to_bits(), p.to_bits());
+            assert_eq!(dist.q50[r].to_bits(), p.to_bits());
+            assert_eq!(dist.q90[r].to_bits(), p.to_bits());
         }
     }
 }

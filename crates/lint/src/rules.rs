@@ -93,6 +93,10 @@ pub const RULES: &[RuleInfo] = &[
         id: "response-serialize-total",
         guards: "service contract: every pub *Response field must appear as a quoted JSON key in the service crate's renderer",
     },
+    RuleInfo {
+        id: "risk-policy-cache-key",
+        guards: "cache soundness: a struct with a cache-key fn and a risk field must hash the risk policy into the key",
+    },
 ];
 
 /// Run every rule over the loaded workspace.
@@ -105,6 +109,7 @@ pub fn check(ws: &Workspace) -> LintOutcome {
         check_source(f, &mut out);
     }
     check_response_fields(&ws.sources, &mut out);
+    check_risk_cache_key(&ws.sources, &mut out);
     for m in &ws.manifests {
         check_manifest(m, &mut out);
     }
@@ -620,6 +625,119 @@ fn check_response_fields(sources: &[SourceFile], out: &mut LintOutcome) {
     }
 }
 
+/// ISSUE 9 cache soundness: a crate that derives cache keys (`fn
+/// signature`) and carries a `risk` field on some struct must fold the
+/// policy into the key — otherwise a risk-aware request can replay a
+/// cache entry computed under a different policy, byte for byte. The rule
+/// is per crate: every struct field named exactly `risk` is a violation
+/// unless some non-test `fn signature` body in the same crate reads the
+/// word `risk` (or the crate has no cache-key fn at all, in which case
+/// there is no key to desynchronize).
+fn check_risk_cache_key(sources: &[SourceFile], out: &mut LintOutcome) {
+    // Pass 1: which crates have cache-key fns, and do any hash `risk`?
+    let mut with_sig: Vec<&str> = Vec::new();
+    let mut hashing: Vec<&str> = Vec::new();
+    for f in sources {
+        for li in 0..f.lines.len() {
+            if f.test_mask.get(li).copied().unwrap_or(false) {
+                continue;
+            }
+            let code = f.lines.get(li).map(|l| l.code.as_str()).unwrap_or("");
+            let Some(at) = code.find("fn signature") else {
+                continue;
+            };
+            // Word boundary: `fn signature_helper` is not a cache-key fn.
+            let after = code
+                .get(at + "fn signature".len()..)
+                .and_then(|s| s.chars().next());
+            if after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                continue;
+            }
+            let Some((bl, bc)) = find_code_char(&f.lines, li, at, |c| c == '{' || c == ';') else {
+                continue;
+            };
+            if !with_sig.contains(&f.crate_name.as_str()) {
+                with_sig.push(&f.crate_name);
+            }
+            let opens = f
+                .lines
+                .get(bl)
+                .and_then(|l| l.code.get(bc..))
+                .and_then(|s| s.chars().next())
+                == Some('{');
+            if !opens {
+                continue; // trait declaration: the impls carry the bodies
+            }
+            let end = match_brace(&f.lines, bl, bc).unwrap_or(bl);
+            let body = joined_code(&f.lines, bl, end);
+            if !find_word(&body, "risk").is_empty() && !hashing.contains(&f.crate_name.as_str()) {
+                hashing.push(&f.crate_name);
+            }
+        }
+    }
+    // Pass 2: every `risk` struct field in a crate whose cache-key fns
+    // never read the policy.
+    for f in sources {
+        if !with_sig.contains(&f.crate_name.as_str()) || hashing.contains(&f.crate_name.as_str()) {
+            continue;
+        }
+        for li in 0..f.lines.len() {
+            let code = f.lines.get(li).map(|l| l.code.as_str()).unwrap_or("");
+            for at in find_word(code, "struct") {
+                let Some((bl, bc)) = find_code_char(&f.lines, li, at, |c| c == '{' || c == ';')
+                else {
+                    continue;
+                };
+                let opens = f
+                    .lines
+                    .get(bl)
+                    .and_then(|l| l.code.get(bc..))
+                    .and_then(|s| s.chars().next())
+                    == Some('{');
+                if !opens {
+                    continue;
+                }
+                let end = match_brace(&f.lines, bl, bc).unwrap_or(bl);
+                for fl in bl..=end {
+                    if f.test_mask.get(fl).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    let fcode = f.lines.get(fl).map(|l| l.code.as_str()).unwrap_or("");
+                    let rest = fcode.trim_start();
+                    let rest = rest.strip_prefix("pub ").unwrap_or(rest);
+                    let field: String = rest
+                        .chars()
+                        .take_while(|&c| c.is_alphanumeric() || c == '_')
+                        .collect();
+                    let is_field = field == "risk"
+                        && rest
+                            .get(field.len()..)
+                            .unwrap_or("")
+                            .trim_start()
+                            .starts_with(':');
+                    if is_field {
+                        emit(
+                            f,
+                            fl,
+                            "risk-policy-cache-key",
+                            format!(
+                                "struct field `risk` in crate `{}` whose cache-key fn \
+                                 (`fn signature`) never reads the policy: a risk-aware \
+                                 request could replay a cache entry computed under a \
+                                 different policy; hash the policy into the signature \
+                                 (or justify a key-irrelevant field with \
+                                 lint:allow(risk-policy-cache-key))",
+                                f.crate_name
+                            ),
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Only `path =` / `workspace = true` dependencies may appear in any
 /// dependency section: the build image has no registry access.
 fn check_manifest(tf: &TextFile, out: &mut LintOutcome) {
@@ -1029,6 +1147,72 @@ mod tests {
         assert_eq!(
             out.allowed.first().map(|a| a.rule),
             Some("response-serialize-total")
+        );
+    }
+
+    // -- risk-policy-cache-key ------------------------------------------
+
+    fn lint_risk(files: &[(&str, &str)]) -> LintOutcome {
+        let sources: Vec<SourceFile> = files.iter().map(|(name, src)| fixture(name, src)).collect();
+        let mut out = LintOutcome::default();
+        check_risk_cache_key(&sources, &mut out);
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn risk_field_hashed_into_the_signature_passes() {
+        let src = "pub struct Req {\n    pub risk: Option<RiskPolicy>,\n}\nimpl Req {\n    pub fn signature(&self) -> u64 {\n        let _ = self.risk;\n        0\n    }\n}\n";
+        let out = lint_risk(&[("robopt", src)]);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        // The hashing fn may live in a sibling file of the same crate.
+        let api = "pub struct Req {\n    pub risk: u8,\n}\n";
+        let keys = "pub fn signature(r: &Req) -> u64 { r.risk as u64 }\n";
+        assert!(lint_risk(&[("robopt", api), ("robopt", keys)])
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn unhashed_risk_field_next_to_a_cache_key_fn_is_flagged() {
+        let src = "pub struct Req {\n    pub risk: u8,\n}\nimpl Req {\n    pub fn signature(&self) -> u64 { 0 }\n}\n";
+        let out = lint_risk(&[("robopt", src)]);
+        assert_eq!(rule_hits(&out), vec!["risk-policy-cache-key"]);
+        assert!(out
+            .violations
+            .first()
+            .is_some_and(|d| d.line == 2 && d.message.contains("cache-key")));
+        // Private fields are cache state too.
+        let private = "struct Opts {\n    risk: u8,\n}\nfn signature() -> u64 { 0 }\n";
+        assert_eq!(
+            rule_hits(&lint_risk(&[("robopt", private)])),
+            vec!["risk-policy-cache-key"]
+        );
+    }
+
+    #[test]
+    fn risk_field_without_a_cache_key_fn_is_fine() {
+        // No `fn signature` in the crate: nothing to desynchronize (the
+        // core enumerator's EnumOptions carries risk but derives no keys).
+        let src = "pub struct Opts {\n    risk: RiskPolicy,\n}\n";
+        assert!(lint_risk(&[("core", src)]).violations.is_empty());
+        // A test-only signature fn mentioning risk must not mask a real
+        // non-hashing key fn.
+        let masked = "pub struct Req {\n    pub risk: u8,\n}\nfn signature() -> u64 { 0 }\n#[cfg(test)]\nmod tests {\n    fn signature(risk: u8) -> u64 { risk as u64 }\n}\n";
+        assert_eq!(
+            rule_hits(&lint_risk(&[("robopt", masked)])),
+            vec!["risk-policy-cache-key"]
+        );
+    }
+
+    #[test]
+    fn risk_cache_key_rule_respects_lint_allow() {
+        let src = "pub struct Req {\n    // lint:allow(risk-policy-cache-key) display-only echo, never keyed\n    pub risk: u8,\n}\nfn signature() -> u64 { 0 }\n";
+        let out = lint_risk(&[("robopt", src)]);
+        assert!(out.violations.is_empty());
+        assert_eq!(
+            out.allowed.first().map(|a| a.rule),
+            Some("risk-policy-cache-key")
         );
     }
 

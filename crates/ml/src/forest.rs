@@ -14,10 +14,11 @@
 
 use std::num::NonZeroUsize;
 
+use robopt_core::CostDistribution;
 use robopt_plan::rng::{mix64, SplitMix64};
 use robopt_vector::RowsView;
 
-use crate::model::Model;
+use crate::model::{DistModel, Model};
 use crate::tree::{RegressionTree, TreeConfig};
 
 /// Row count below which batched inference stays single-threaded (thread
@@ -211,6 +212,35 @@ impl Model for RandomForest {
     }
 }
 
+impl DistModel for RandomForest {
+    /// One batched pass over the forest — the same per-tree flat walk as
+    /// [`RandomForest::predict_batch`], except each tree's prediction
+    /// lands in the per-row sample slot instead of being folded away, so
+    /// the spread survives at no extra traversal cost. The mean reduces
+    /// each row's samples in tree-index order, which is the exact
+    /// accumulation sequence (and therefore the exact bits) of the point
+    /// path; quantiles come from a per-row sort of the shared scratch.
+    fn predict_dist_batch(&self, rows: RowsView<'_>, out: &mut CostDistribution) {
+        debug_assert_eq!(
+            rows.width(),
+            self.width(),
+            "batch rows of width {} fed to a model expecting {}",
+            rows.width(),
+            self.width()
+        );
+        let n = rows.rows();
+        let t = self.trees.len();
+        let scratch = out.sample_scratch(n, t);
+        for (ti, tree) in self.trees.iter().enumerate() {
+            // Flat pass per tree, contiguous rows — the predict_range walk.
+            for i in 0..n {
+                scratch[i * t + ti] = tree.predict(rows.row(i));
+            }
+        }
+        out.finalize_samples(t);
+    }
+}
+
 /// Bootstrap-sample `n` row indices and fit tree `t`. The RNG seed mixes
 /// only the config seed and the tree index — never thread identity.
 fn fit_one(
@@ -319,5 +349,42 @@ mod tests {
         );
         let probe: Vec<f64> = vec![0.3, -0.7, 1.1, 0.0];
         assert_ne!(a.predict(&probe), b.predict(&probe));
+    }
+
+    #[test]
+    fn dist_batch_mean_is_bit_identical_to_point_batch() {
+        let (feats, labels) = noisy_quadratic(300, 4, 51);
+        let rows = RowsView::new(&feats, 4);
+        let forest = RandomForest::fit(&ForestConfig::default(), rows, &labels);
+        let mut point = Vec::new();
+        let mut dist = CostDistribution::new();
+        forest.predict_batch(rows, &mut point);
+        forest.predict_dist_batch(rows, &mut dist);
+        assert_eq!(dist.len(), point.len());
+        for (r, (&p, &m)) in point.iter().zip(&dist.mean).enumerate() {
+            assert_eq!(p.to_bits(), m.to_bits(), "mean bits diverge at row {r}");
+        }
+    }
+
+    #[test]
+    fn dist_batch_reports_ordered_quantiles_and_real_spread() {
+        let (feats, labels) = noisy_quadratic(300, 4, 61);
+        let rows = RowsView::new(&feats, 4);
+        let forest = RandomForest::fit(&ForestConfig::default(), rows, &labels);
+        let mut dist = CostDistribution::new();
+        forest.predict_dist_batch(rows, &mut dist);
+        let mut any_spread = false;
+        for r in 0..dist.len() {
+            assert!(dist.q10[r] <= dist.q50[r], "row {r}");
+            assert!(dist.q50[r] <= dist.q90[r], "row {r}");
+            assert!(dist.std[r] >= 0.0);
+            any_spread |= dist.std[r] > 0.0;
+        }
+        assert!(any_spread, "bagged trees on noisy data must disagree");
+        // Seed-deterministic: a second pass reproduces identical bits.
+        let mut again = CostDistribution::new();
+        forest.predict_dist_batch(rows, &mut again);
+        assert_eq!(dist.std, again.std);
+        assert_eq!(dist.q90, again.q90);
     }
 }

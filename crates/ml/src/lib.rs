@@ -41,7 +41,8 @@ pub mod tree;
 pub use forest::{ForestConfig, RandomForest};
 pub use linreg::LinearModel;
 pub use metrics::{mae, mse, q_error, r_squared, spearman, Metrics};
-pub use model::{Model, ModelOracle};
+pub use model::{DistModel, Model, ModelOracle};
+pub use robopt_core::{CostDistribution, RiskPolicy};
 pub use source::{TrainingSet, TrainingSource};
 pub use training::{simulator_training_set, BackendSource, SamplerConfig, SimulatorSource};
 pub use tree::{ModelImportError, RegressionTree, TreeConfig};

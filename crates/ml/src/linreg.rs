@@ -11,7 +11,7 @@
 
 use robopt_vector::RowsView;
 
-use crate::model::Model;
+use crate::model::{DistModel, Model};
 
 /// Ridge-regularized linear model with intercept.
 #[derive(Debug, Clone)]
@@ -108,6 +108,10 @@ impl Model for LinearModel {
         acc
     }
 }
+
+// A single closed-form estimator has no ensemble spread: the `DistModel`
+// default (zero std, quantiles at the mean) is its exact distribution.
+impl DistModel for LinearModel {}
 
 /// Solve `A·x = b` for symmetric positive-definite `A` (destroyed in
 /// place) via Cholesky `A = L·Lᵀ` and two triangular substitutions.

@@ -9,7 +9,7 @@
 //! at every enumeration call site with no monomorphized duplicates of the
 //! enumeration loop.
 
-use robopt_core::CostOracle;
+use robopt_core::{CostDistribution, CostOracle};
 use robopt_vector::RowsView;
 
 use crate::source::TrainingSet;
@@ -59,6 +59,32 @@ pub trait Model {
     }
 }
 
+/// A [`Model`] that can report its predictions as *distributions*
+/// (DESIGN §12).
+///
+/// Object-safe like its supertrait. The default implementation is the
+/// degenerate point distribution — mean from [`Model::predict_batch`],
+/// zero spread, quantiles equal to the mean — which is exactly right for
+/// single-estimator models ([`crate::LinearModel`], a lone
+/// [`crate::RegressionTree`]): they have no ensemble to disagree with
+/// itself. Ensemble models override it, filling mean *and* spread in one
+/// batched pass over the members (the forest contract forbids a second
+/// traversal), with the mean column bit-identical to `predict_batch`.
+pub trait DistModel: Model {
+    /// Predict every row of `rows` into `out` as a distribution.
+    fn predict_dist_batch(&self, rows: RowsView<'_>, out: &mut CostDistribution) {
+        debug_assert_eq!(
+            rows.width(),
+            self.width(),
+            "batch rows of width {} fed to a model expecting {}",
+            rows.width(),
+            self.width()
+        );
+        self.predict_batch(rows, &mut out.mean);
+        out.fill_point_from_mean();
+    }
+}
+
 /// Adapter making any fitted [`Model`] a [`CostOracle`].
 ///
 /// Predictions are used directly as costs. The training pipeline fits
@@ -91,8 +117,12 @@ impl<M: Model> ModelOracle<M> {
 
 // `CostOracle: Sync` (the parallel enumerator shares one oracle across its
 // workers), so the wrapped model must be `Sync` too. Every in-tree model
-// is: fitted state is immutable weight/tree tables.
-impl<M: Model + Sync> CostOracle for ModelOracle<M> {
+// is: fitted state is immutable weight/tree tables. The bound is
+// `DistModel` (not bare `Model`) so `cost_batch_dist` can forward to the
+// model's distributional pass — stable Rust has no specialization to do
+// that selectively, and the `DistModel` default makes the stricter bound
+// one empty `impl` per point-estimate model.
+impl<M: DistModel + Sync> CostOracle for ModelOracle<M> {
     fn width(&self) -> usize {
         self.model.width()
     }
@@ -110,6 +140,17 @@ impl<M: Model + Sync> CostOracle for ModelOracle<M> {
             self.width()
         );
         self.model.predict_batch(rows, out);
+    }
+
+    fn cost_batch_dist(&self, rows: RowsView<'_>, out: &mut CostDistribution) {
+        debug_assert_eq!(
+            rows.width(),
+            self.width(),
+            "batch rows of width {} fed to an oracle expecting {}",
+            rows.width(),
+            self.width()
+        );
+        self.model.predict_dist_batch(rows, out);
     }
 }
 
@@ -135,6 +176,9 @@ mod tests {
         }
     }
 
+    // Point estimator: the `DistModel` default (zero spread) is correct.
+    impl DistModel for SumModel {}
+
     #[test]
     fn default_batch_matches_per_row() {
         let feats = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
@@ -159,6 +203,13 @@ mod tests {
         let mut out = Vec::new();
         dyn_oracle.cost_batch(rows, &mut out);
         assert_eq!(out, vec![3.0, 7.0]);
+        // The distributional path is reachable through the same vtable and
+        // reports the point model's degenerate spread.
+        let mut dist = CostDistribution::new();
+        dyn_oracle.cost_batch_dist(rows, &mut dist);
+        assert_eq!(dist.mean, vec![3.0, 7.0]);
+        assert_eq!(dist.std, vec![0.0, 0.0]);
+        assert_eq!(dist.q90, vec![3.0, 7.0]);
     }
 
     #[test]

@@ -415,6 +415,10 @@ impl Model for RegressionTree {
     }
 }
 
+// One tree is one estimator: the degenerate point distribution from the
+// `DistModel` default is exact. The *forest* is where spread comes from.
+impl crate::model::DistModel for RegressionTree {}
+
 struct Split {
     gain: f64,
     col: usize,

@@ -12,8 +12,14 @@
 //! * **Deterministic**: two simulators with equal seeds produce identical
 //!   estimates for equal inputs, regardless of call order.
 //! * **Seeded noise hook**: [`RuntimeSimulator::with_noise`] applies a
-//!   multiplicative perturbation per (operator, platform) drawn from the
-//!   seed — off by default (`amplitude = 0`).
+//!   multiplicative perturbation per operator drawn from
+//!   (seed, plan, assignment) — off by default (`amplitude = 0`). The
+//!   stream is independently seeded per (workload, assignment): two
+//!   different candidate plans never share draws (shared draws would
+//!   correlate their errors away, understating exactly the risk the
+//!   robust policies exist to price), while re-simulating the same
+//!   (plan, assignment) reproduces the same draws bit-exactly and the
+//!   `amplitude = 0` path never computes the key at all.
 //! * **Cost curve** per operator on platform `p`:
 //!   `fixed_cost(p)·C_FIXED + in_tuples·tuple_rate(p)·shape(kind)·spill / parallelism(p)`
 //!   where `shape` is `log2(2 + in_tuples)` for shuffle-heavy kinds and `1`
@@ -59,7 +65,8 @@ impl<'a> RuntimeSimulator<'a> {
 
     /// Enable the multiplicative noise hook: each operator's runtime is
     /// scaled by `1 + amplitude·z` with `z ∈ [-1, 1)` drawn deterministically
-    /// from `(seed, operator, platform)`. `amplitude` must stay below 1.
+    /// from `(seed, plan, assignment, operator, platform)`. `amplitude`
+    /// must stay below 1.
     pub fn with_noise(mut self, amplitude: f64) -> Self {
         assert!((0.0..1.0).contains(&amplitude), "noise amplitude in [0, 1)");
         self.noise = amplitude;
@@ -85,14 +92,30 @@ impl<'a> RuntimeSimulator<'a> {
         )
     }
 
-    /// Deterministic per-(operator, platform) noise factor in
-    /// `[1 - noise, 1 + noise)`.
+    /// Chain the plan shape (operator kinds, cardinalities) and the full
+    /// *resolved* assignment into one run key: the root of this run's
+    /// noise stream. Resolving through `assignment` (not raw bytes) keeps
+    /// [`RuntimeSimulator::simulate_raw`] bit-identical to
+    /// [`RuntimeSimulator::simulate`]. Only computed when noise is on.
+    fn run_key(&self, plan: &LogicalPlan, assignment: &impl Fn(usize) -> PlatformId) -> u64 {
+        let mut key = mix64(self.seed ^ plan.n_ops() as u64);
+        for op in 0..plan.n_ops() {
+            let kind = plan.op(op as u32).kind as u64;
+            key = mix64(key ^ (kind << 8 | assignment(op).raw() as u64));
+            key = mix64(key ^ plan.out_card()[op].to_bits());
+        }
+        key
+    }
+
+    /// Deterministic per-operator noise factor in `[1 - noise, 1 + noise)`,
+    /// drawn from the run key (so two different workloads or assignments
+    /// never share a draw, even for the same operator slot and platform).
     #[inline]
-    fn noise_factor(&self, op: u32, platform: PlatformId) -> f64 {
+    fn noise_factor(&self, run_key: u64, op: u32, platform: PlatformId) -> f64 {
         if self.noise == 0.0 {
             return 1.0;
         }
-        let key = mix64(self.seed ^ ((op as u64) << 8 | platform.raw() as u64));
+        let key = mix64(run_key ^ ((op as u64) << 8 | platform.raw() as u64));
         let unit = (key >> 11) as f64 * (1.0 / (1u64 << 53) as f64); // [0, 1)
         1.0 + self.noise * (2.0 * unit - 1.0)
     }
@@ -151,6 +174,14 @@ impl<'a> RuntimeSimulator<'a> {
         assignment: impl Fn(usize) -> PlatformId,
         mut profile: Option<&mut SimProfile>,
     ) -> f64 {
+        // The noiseless path must not even look at the plan for randomness:
+        // `run_key` is skipped entirely, so enabling noise elsewhere can
+        // never perturb the unnoised stream.
+        let run_key = if self.noise > 0.0 {
+            self.run_key(plan, &assignment)
+        } else {
+            0
+        };
         let mut total = 0.0;
         let mut used_mask = 0u8;
         for op in 0..plan.n_ops() as u32 {
@@ -187,7 +218,7 @@ impl<'a> RuntimeSimulator<'a> {
             };
             let work = in_t * desc.tuple_rate * shape * spill * loop_work / desc.parallelism;
             let fixed = desc.fixed_cost * C_FIXED * loop_fixed;
-            let noise = self.noise_factor(op, p);
+            let noise = self.noise_factor(run_key, op, p);
             total += (fixed + work) * noise;
             if let Some(prof) = profile.as_deref_mut() {
                 prof.per_op.push((fixed + work) * noise);
@@ -288,6 +319,76 @@ mod tests {
         let mut mixed = uniform_assign(&reg, "giraph", plan.n_ops());
         mixed[0] = reg.by_name("postgres").unwrap();
         assert!(sim.simulate(&plan, &mixed).is_infinite());
+    }
+
+    /// Regression (ISSUE 9): the noise stream must be independently seeded
+    /// per (workload, assignment). The old draw keyed only on
+    /// (seed, op, platform), so two *different* candidate assignments
+    /// shared every draw on their common operators — correlating their
+    /// errors away and understating exactly the risk the robust policies
+    /// price. And turning noise on must leave the unnoised stream
+    /// untouched.
+    #[test]
+    fn noise_is_independent_per_assignment_and_workload() {
+        let reg = PlatformRegistry::named();
+        let plan = workloads::wordcount(1e6);
+        let n = plan.n_ops();
+        let spark = uniform_assign(&reg, "spark", n);
+        let mut flipped = spark.clone();
+        flipped[0] = reg.by_name("java").unwrap();
+
+        let per_op = |noise: f64, assign: &[PlatformId]| {
+            let sim = RuntimeSimulator::new(&reg, 9);
+            let sim = if noise > 0.0 {
+                sim.with_noise(noise)
+            } else {
+                sim
+            };
+            let mut prof = SimProfile::default();
+            let total = sim.simulate_profiled(&plan, assign, &mut prof);
+            assert!(total.is_finite());
+            prof.per_op
+        };
+
+        // Noiseless: the shared suffix (ops 1..) is bit-identical across
+        // the two assignments — and stays so regardless of the noise knob
+        // existing at all.
+        let base_a = per_op(0.0, &spark);
+        let base_b = per_op(0.0, &flipped);
+        assert_eq!(base_a[1..], base_b[1..], "unnoised stream perturbed");
+
+        // Noisy: every shared-suffix operator must draw independently —
+        // same op, same platform, different assignment, different factor.
+        let noisy_a = per_op(0.2, &spark);
+        let noisy_b = per_op(0.2, &flipped);
+        for i in 1..n {
+            assert_ne!(
+                noisy_a[i], noisy_b[i],
+                "op {i}: two assignments shared a noise draw"
+            );
+        }
+        // Determinism: re-simulating reproduces the exact bits.
+        assert_eq!(noisy_a, per_op(0.2, &spark));
+
+        // Different workloads draw independent streams too: the per-op
+        // noise *factors* of two scales must not line up.
+        let factors = |scale: f64| -> Vec<f64> {
+            let p = workloads::wordcount(scale);
+            let a = uniform_assign(&reg, "spark", p.n_ops());
+            let mut clean = SimProfile::default();
+            let mut noisy = SimProfile::default();
+            RuntimeSimulator::new(&reg, 9).simulate_profiled(&p, &a, &mut clean);
+            RuntimeSimulator::new(&reg, 9)
+                .with_noise(0.2)
+                .simulate_profiled(&p, &a, &mut noisy);
+            noisy
+                .per_op
+                .iter()
+                .zip(&clean.per_op)
+                .map(|(x, y)| x / y)
+                .collect()
+        };
+        assert_ne!(factors(1e6), factors(2e6), "workloads shared a stream");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! only owned data (names, not `PlatformId`s) so they survive the facade
 //! they came from.
 
-use robopt_core::EnumStats;
+use robopt_core::{EnumStats, RiskPolicy};
 use robopt_plan::LogicalPlan;
 use robopt_vector::SigHasher;
 
@@ -133,6 +133,11 @@ pub struct OptimizeRequest {
     pub workload: WorkloadSpec,
     /// How to run the enumeration.
     pub policy: ExecutionPolicy,
+    /// [`RiskPolicy`] ranking candidate plans (DESIGN §12). `None` means
+    /// "use the facade's default" (itself `ExpectedCost` unless `robopt
+    /// serve --risk` overrode it); the effective policy is part of the
+    /// cache key via [`OptimizeRequest::signature`].
+    pub risk: Option<RiskPolicy>,
 }
 
 impl OptimizeRequest {
@@ -141,6 +146,7 @@ impl OptimizeRequest {
         OptimizeRequest {
             workload,
             policy: ExecutionPolicy::default(),
+            risk: None,
         }
     }
 
@@ -150,13 +156,26 @@ impl OptimizeRequest {
         self
     }
 
-    /// The plan-signature cache key: a pure function of the workload spec
-    /// and the result-affecting policy fields, built on the same mixing
-    /// primitive as Def-2 footprint hashing ([`SigHasher`]).
+    /// Pin a risk policy for this request (overrides the facade default).
+    pub fn with_risk(mut self, risk: RiskPolicy) -> Self {
+        self.risk = Some(risk);
+        self
+    }
+
+    /// The plan-signature cache key: a pure function of the workload spec,
+    /// the result-affecting policy fields, and the risk policy, built on
+    /// the same mixing primitive as Def-2 footprint hashing
+    /// ([`SigHasher`]). `risk: None` hashes as `ExpectedCost` — they are
+    /// the same computation, so they *should* share a cache line — while
+    /// any other policy gets a distinct key: a `MeanPlusKSigma` hit must
+    /// never serve an `ExpectedCost` entry.
     pub fn signature(&self) -> u64 {
         let mut h = SigHasher::new();
         write_workload_sig(&self.workload, &mut h);
         self.policy.write_sig(&mut h);
+        let (tag, param) = self.risk.unwrap_or(RiskPolicy::ExpectedCost).sig_parts();
+        h.write_u64(tag);
+        h.write_f64_bits(param);
         h.finish()
     }
 }
@@ -177,7 +196,19 @@ pub struct OptimizeResponse {
     /// Number of distinct platforms in the winning plan.
     pub distinct_platforms: usize,
     /// Canonical re-cost of the winning assignment under the active oracle.
+    /// Always the distribution *mean* — risk policies change which plan
+    /// wins, never how its cost is quoted (DESIGN §12).
     pub cost: f64,
+    /// Standard deviation of the winner's cost distribution (zero under a
+    /// point-estimate oracle).
+    pub cost_std: f64,
+    /// 10th-percentile cost of the winner's distribution.
+    pub cost_q10: f64,
+    /// 90th-percentile cost of the winner's distribution.
+    pub cost_q90: f64,
+    /// The risk policy that ranked this answer, echoed as its wire label
+    /// (`expected`, `sigma<k>`, `q<q>`).
+    pub risk_policy: String,
     /// Enumeration counters (invariant across worker counts).
     pub stats: EnumStats,
 }
@@ -189,6 +220,10 @@ impl PartialEq for OptimizeResponse {
             && self.assignments == other.assignments
             && self.distinct_platforms == other.distinct_platforms
             && self.cost.to_bits() == other.cost.to_bits()
+            && self.cost_std.to_bits() == other.cost_std.to_bits()
+            && self.cost_q10.to_bits() == other.cost_q10.to_bits()
+            && self.cost_q90.to_bits() == other.cost_q90.to_bits()
+            && self.risk_policy == other.risk_policy
             && self.stats == other.stats
     }
 }
@@ -529,15 +564,39 @@ mod tests {
 
     #[test]
     fn optimize_response_equality_is_bitwise_on_cost() {
-        let mk = |cost: f64| OptimizeResponse {
+        let mk = |cost: f64, std: f64| OptimizeResponse {
             workload: "w".to_string(),
             signature: 1,
             assignments: vec!["p".to_string()],
             distinct_platforms: 1,
             cost,
+            cost_std: std,
+            cost_q10: cost,
+            cost_q90: cost,
+            risk_policy: "expected".to_string(),
             stats: EnumStats::default(),
         };
-        assert_eq!(mk(1.5), mk(1.5));
-        assert_ne!(mk(0.0), mk(-0.0), "0.0 and -0.0 differ bitwise");
+        assert_eq!(mk(1.5, 0.0), mk(1.5, 0.0));
+        assert_ne!(mk(0.0, 0.0), mk(-0.0, 0.0), "0.0 and -0.0 differ bitwise");
+        assert_ne!(mk(1.5, 0.0), mk(1.5, -0.0), "cost_std is bitwise too");
+    }
+
+    #[test]
+    fn signature_separates_risk_policies_but_not_the_default_spelling() {
+        let base = OptimizeRequest::new(WorkloadSpec::WordCount { scale: 1e7 });
+        // `None` and an explicit `ExpectedCost` are the same computation —
+        // one cache line.
+        assert_eq!(
+            base.signature(),
+            base.with_risk(RiskPolicy::ExpectedCost).signature()
+        );
+        // Every other policy (and parameter) is a distinct key.
+        let sigma = base.with_risk(RiskPolicy::MeanPlusKSigma(1.5));
+        let sigma2 = base.with_risk(RiskPolicy::MeanPlusKSigma(2.0));
+        let q90 = base.with_risk(RiskPolicy::Quantile(0.9));
+        assert_ne!(base.signature(), sigma.signature());
+        assert_ne!(sigma.signature(), sigma2.signature());
+        assert_ne!(sigma.signature(), q90.signature());
+        assert_ne!(base.signature(), q90.signature());
     }
 }

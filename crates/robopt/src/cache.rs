@@ -261,6 +261,10 @@ mod tests {
             assignments: vec![tag.to_string()],
             distinct_platforms: 1,
             cost,
+            cost_std: 0.0,
+            cost_q10: cost,
+            cost_q90: cost,
+            risk_policy: "expected".to_string(),
             stats: EnumStats::default(),
         }
     }

@@ -53,4 +53,5 @@ pub use api::{
 pub use cache::{CacheStats, PlanCache};
 pub use optimizer::Optimizer;
 pub use persist::{forest_from_json, forest_to_json, PersistError};
+pub use robopt_core::{CostDistribution, RiskPolicy};
 pub use wire::{parse_request, render_response, Request, Response};

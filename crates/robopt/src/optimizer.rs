@@ -19,7 +19,10 @@
 //! is bit-identical across thread counts.
 
 use robopt_core::vectorize::vectorize_assignment;
-use robopt_core::{AnalyticOracle, CostOracle, EnumOptions, ParallelEnumerator, SplitOptions};
+use robopt_core::{
+    AnalyticOracle, CostDistribution, CostOracle, EnumOptions, ParallelEnumerator, RiskPolicy,
+    SplitOptions,
+};
 use robopt_engine::Engine;
 use robopt_ml::{
     mse, simulator_training_set, ForestConfig, Model, ModelOracle, RandomForest, SamplerConfig,
@@ -65,6 +68,10 @@ pub struct Optimizer {
     parallel: ParallelEnumerator,
     cache: PlanCache,
     cache_enabled: bool,
+    /// Session-wide risk policy applied to requests that don't carry one
+    /// (`robopt serve --risk`). Folded into the *effective* request before
+    /// the signature is computed, so the cache stays policy-sound.
+    default_risk: Option<RiskPolicy>,
     /// Logical request clock: drives cache recency, never wall time.
     tick: u64,
     requests: u64,
@@ -73,6 +80,9 @@ pub struct Optimizer {
     /// single-platform costing (`compare`); reused across requests.
     feats: Vec<f64>,
     costs: Vec<f64>,
+    /// Scratch distribution for the one-row winner re-cost that fills
+    /// `cost_std` / `cost_q10` / `cost_q90`; reused across requests.
+    dist: CostDistribution,
 }
 
 impl Optimizer {
@@ -88,11 +98,13 @@ impl Optimizer {
             parallel: ParallelEnumerator::new(1),
             cache: PlanCache::new(PlanCache::DEFAULT_CAPACITY),
             cache_enabled: true,
+            default_risk: None,
             tick: 0,
             requests: 0,
             total_micros: 0,
             feats: Vec::new(),
             costs: Vec::new(),
+            dist: CostDistribution::new(),
         }
     }
 
@@ -165,6 +177,24 @@ impl Optimizer {
         self.cache_enabled = enabled;
     }
 
+    /// Session-wide default risk policy for requests that don't carry one
+    /// (`robopt serve --risk`). `None` restores [`RiskPolicy::ExpectedCost`]
+    /// behavior. The default is folded into the effective request *before*
+    /// its signature is computed, so a sigma-default session and an
+    /// expected-cost session never share cache entries.
+    pub fn set_default_risk(&mut self, risk: Option<RiskPolicy>) {
+        self.default_risk = risk;
+    }
+
+    /// The request as actually optimized: an explicit per-request risk
+    /// policy wins, otherwise the session default fills in.
+    fn effective(&self, req: &OptimizeRequest) -> OptimizeRequest {
+        OptimizeRequest {
+            risk: req.risk.or(self.default_risk),
+            ..*req
+        }
+    }
+
     /// Replace the cache with an empty one of `capacity` entries.
     pub fn set_cache_capacity(&mut self, capacity: usize) {
         self.cache = PlanCache::new(capacity);
@@ -196,6 +226,10 @@ impl Optimizer {
         let started = now();
         self.requests += 1;
         self.tick += 1;
+        let req = &self.effective(req);
+        if let Some(risk) = req.risk {
+            risk.validate().map_err(ServiceError::InvalidRequest)?;
+        }
         let sig = req.signature();
         if self.cache_enabled {
             if let Some(hit) = self.cache.lookup(sig, self.tick) {
@@ -234,6 +268,10 @@ impl Optimizer {
         for req in reqs {
             self.requests += 1;
             self.tick += 1;
+            let req = &self.effective(req);
+            if let Some(risk) = req.risk {
+                risk.validate().map_err(ServiceError::InvalidRequest)?;
+            }
             let sig = req.signature();
             if self.cache_enabled {
                 if let Some(hit) = self.cache.lookup(sig, self.tick) {
@@ -307,6 +345,10 @@ impl Optimizer {
                         assignments: Vec::new(),
                         distinct_platforms: 0,
                         cost: f64::INFINITY,
+                        cost_std: 0.0,
+                        cost_q10: f64::INFINITY,
+                        cost_q90: f64::INFINITY,
+                        risk_policy: String::new(),
                         stats: Default::default(),
                     }),
             })
@@ -526,15 +568,35 @@ impl Optimizer {
             layout,
             oracle,
             parallel,
+            feats,
+            dist,
             ..
         } = self;
+        let risk = req.risk.unwrap_or_default();
         parallel.set_threads(req.policy.workers);
         parallel.set_split(SplitOptions::new(req.policy.split_parts.max(1)));
         parallel.set_hardware_clamp(req.policy.hardware_clamp);
         let opts = EnumOptions::new(registry)
             .with_oracle(oracle.as_dyn())
-            .with_prune(req.policy.prune);
+            .with_prune(req.policy.prune)
+            .with_risk(risk);
         let (exec, stats) = parallel.enumerate(plan, layout, opts);
+        // One-row distribution over the winner fills the uncertainty
+        // fields. The distribution's mean is bit-identical to the
+        // canonical `cost_row` mean the enumerator reported (both sum the
+        // same members in the same order), so `cost` itself is untouched.
+        let raw: Vec<u8> = exec.assignments.iter().map(|&id| id.raw()).collect();
+        vectorize_assignment(plan, layout, &raw, feats);
+        oracle
+            .as_dyn()
+            .cost_batch_dist(RowsView::new(feats, layout.width), dist);
+        // lint:allow(index-literal) one winner row by construction: finish() asserts a non-empty enumeration, so the distribution has exactly one row
+        let _winner_mean = dist.mean[0];
+        debug_assert_eq!(
+            _winner_mean.to_bits(),
+            exec.cost.to_bits(),
+            "winner distribution mean diverged from the canonical cost"
+        );
         Ok(OptimizeResponse {
             workload: req.workload.name(),
             signature: sig,
@@ -545,6 +607,13 @@ impl Optimizer {
                 .collect(),
             distinct_platforms: exec.distinct_platforms(),
             cost: exec.cost,
+            // lint:allow(index-literal) same one-row distribution as the debug_assert above
+            cost_std: dist.std[0],
+            // lint:allow(index-literal) same one-row distribution as the debug_assert above
+            cost_q10: dist.q10[0],
+            // lint:allow(index-literal) same one-row distribution as the debug_assert above
+            cost_q90: dist.q90[0],
+            risk_policy: risk.label(),
             stats,
         })
     }
@@ -740,6 +809,35 @@ mod tests {
         assert_eq!(got, expected);
         // Two wordcount requests, one enumeration.
         assert_eq!(batched.cache_stats().insertions, 3);
+    }
+
+    #[test]
+    fn default_risk_fills_unlabelled_requests_and_keys_the_cache() {
+        let mut opt = Optimizer::named();
+        let plain = opt.optimize(&OptimizeRequest::new(wc())).expect("expected");
+        assert_eq!(plain.risk_policy, "expected");
+        assert!(plain.cost_q10 <= plain.cost_q90);
+        opt.set_default_risk(Some(RiskPolicy::MeanPlusKSigma(2.0)));
+        let robust = opt
+            .optimize(&OptimizeRequest::new(wc()))
+            .expect("sigma default");
+        assert_eq!(robust.risk_policy, "sigma2");
+        // The sigma-default request missed: the default is folded into the
+        // effective request before the signature is computed, so it cannot
+        // replay the expected-cost entry.
+        assert_eq!(opt.cache_stats().misses, 2);
+        // An explicit per-request policy beats the session default — and
+        // explicit ExpectedCost shares the unlabelled request's cache line.
+        let explicit = opt
+            .optimize(&OptimizeRequest::new(wc()).with_risk(RiskPolicy::ExpectedCost))
+            .expect("explicit expected");
+        assert_eq!(explicit, plain);
+        assert_eq!(opt.cache_stats().hits, 1);
+        // Invalid policies surface typed errors before touching the cache.
+        assert!(matches!(
+            opt.optimize(&OptimizeRequest::new(wc()).with_risk(RiskPolicy::Quantile(1.5))),
+            Err(ServiceError::InvalidRequest(_))
+        ));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::api::{
     SimulateResponse, StatsResponse, TrainRequest, TrainResponse, TrainSource, WorkloadSpec,
 };
 use crate::json::{self, escape_into, JsonValue};
+use robopt_core::RiskPolicy;
 
 /// A parsed service request.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +70,10 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
         "optimize" => Ok(Request::Optimize(OptimizeRequest {
             workload: parse_workload(&doc)?,
             policy: parse_policy(&doc),
+            risk: match doc.get("risk").and_then(JsonValue::as_str) {
+                Some(text) => Some(RiskPolicy::parse(text).map_err(ServiceError::Parse)?),
+                None => None,
+            },
         })),
         "train" => {
             let defaults = TrainRequest::new(field_usize(&doc, "rows").unwrap_or(512));
@@ -244,15 +249,20 @@ fn push_optimize_fields(s: &mut String, r: &OptimizeResponse) {
     s.push_str(",\"assignments\":");
     push_str_array(s, &r.assignments);
     s.push_str(&format!(
-        ",\"distinct_platforms\":{},\"cost\":{},\"cost_bits\":{},\"stats\":{{\
-         \"generated\":{},\"kept\":{},\"merges\":{},\"peak_rows\":{}}}",
+        ",\"distinct_platforms\":{},\"cost\":{},\"cost_bits\":{},\
+         \"cost_std\":{},\"cost_q10\":{},\"cost_q90\":{}",
         r.distinct_platforms,
         num(r.cost),
         r.cost.to_bits(),
-        r.stats.generated,
-        r.stats.kept,
-        r.stats.merges,
-        r.stats.peak_rows
+        num(r.cost_std),
+        num(r.cost_q10),
+        num(r.cost_q90)
+    ));
+    s.push_str(",\"risk_policy\":");
+    push_str_value(s, &r.risk_policy);
+    s.push_str(&format!(
+        ",\"stats\":{{\"generated\":{},\"kept\":{},\"merges\":{},\"peak_rows\":{}}}",
+        r.stats.generated, r.stats.kept, r.stats.merges, r.stats.peak_rows
     ));
 }
 
@@ -419,8 +429,38 @@ mod tests {
                 policy: ExecutionPolicy::default()
                     .with_workers(4)
                     .with_split_parts(8),
+                risk: None,
             })
         );
+    }
+
+    #[test]
+    fn risk_policies_parse_from_the_wire_and_garbage_is_rejected() {
+        let req = parse_request(
+            r#"{"op":"optimize","workload":{"kind":"wordcount","scale":1e6},"risk":"sigma1.5"}"#,
+        )
+        .expect("parse risk");
+        assert_eq!(
+            req,
+            Request::Optimize(
+                OptimizeRequest {
+                    workload: WorkloadSpec::WordCount { scale: 1e6 },
+                    policy: ExecutionPolicy::default(),
+                    risk: None,
+                }
+                .with_risk(RiskPolicy::MeanPlusKSigma(1.5))
+            )
+        );
+        for bad in [
+            r#"{"op":"optimize","workload":{"kind":"wordcount"},"risk":"wild"}"#,
+            r#"{"op":"optimize","workload":{"kind":"wordcount"},"risk":"q1.5"}"#,
+            r#"{"op":"optimize","workload":{"kind":"wordcount"},"risk":"sigma-3"}"#,
+        ] {
+            assert!(
+                matches!(parse_request(bad), Err(ServiceError::Parse(_))),
+                "{bad:?} should be a parse error"
+            );
+        }
     }
 
     #[test]
@@ -449,6 +489,10 @@ mod tests {
             assignments: vec!["java".to_string(), "spark".to_string()],
             distinct_platforms: 2,
             cost: 0.1 + 0.2,
+            cost_std: 0.25,
+            cost_q10: 0.2,
+            cost_q90: 0.4,
+            risk_policy: "sigma1.5".to_string(),
             stats: Default::default(),
         });
         let line = render_response(&resp);
@@ -461,6 +505,19 @@ mod tests {
         assert_eq!(bits, (0.1f64 + 0.2).to_bits(), "bit-exact cost transport");
         let cost = doc.get("cost").and_then(JsonValue::as_f64).expect("cost");
         assert_eq!(cost.to_bits(), bits, "shortest-round-trip decimal agrees");
+        // The uncertainty fields ride the same line (lint rule 15: every
+        // public response field must be wire-rendered).
+        assert_eq!(
+            doc.get("cost_std").and_then(JsonValue::as_f64),
+            Some(0.25),
+            "cost_std on the wire"
+        );
+        assert_eq!(doc.get("cost_q10").and_then(JsonValue::as_f64), Some(0.2));
+        assert_eq!(doc.get("cost_q90").and_then(JsonValue::as_f64), Some(0.4));
+        assert_eq!(
+            doc.get("risk_policy").and_then(JsonValue::as_str),
+            Some("sigma1.5")
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use std::process::Command;
 
-use robopt::{ExecutionPolicy, OptimizeRequest, Optimizer, WorkloadSpec};
+use robopt::{ExecutionPolicy, OptimizeRequest, Optimizer, RiskPolicy, WorkloadSpec};
 use robopt_baselines::ObjectEnumerator;
 use robopt_engine::Engine;
 use robopt_ml::{simulator_training_set, ForestConfig, RandomForest, SamplerConfig};
@@ -86,6 +86,16 @@ fn seeded_run_digest() -> u64 {
         assert_eq!(best, hit, "cache hit changed the response bytes");
         assert_eq!(best, recomputed, "cache-off recompute diverged");
         mix_response(&mut h, &best);
+
+        // ISSUE 9 parity contract: spelling out ExpectedCost must be
+        // bit-identical to the unlabelled request — same cache line, same
+        // cost bits, same uncertainty fields (the distributional seam's
+        // degenerate point path is the classic path).
+        let explicit = cold
+            .optimize(&serial_req.with_risk(RiskPolicy::ExpectedCost))
+            .expect("explicit expected-cost optimize");
+        assert_eq!(best, explicit, "ExpectedCost diverged from the default");
+        assert_eq!(best.cost.to_bits(), explicit.cost.to_bits());
 
         // Split-parallel: same winner, same canonical cost bits as serial
         // (merge trees differ, so EnumStats legitimately may not).

@@ -11,8 +11,8 @@
 //!   `ServiceError`, never a panic.
 
 use robopt::{
-    forest_from_json, forest_to_json, ExecutionPolicy, OptimizeRequest, Optimizer, ServiceError,
-    TrainRequest, WorkloadSpec,
+    forest_from_json, forest_to_json, ExecutionPolicy, OptimizeRequest, Optimizer, RiskPolicy,
+    ServiceError, TrainRequest, WorkloadSpec,
 };
 use robopt_platforms::PlatformRegistry;
 
@@ -166,6 +166,56 @@ fn cache_key_separates_policies_that_change_the_answer() {
     assert_eq!(stats.misses, 2, "worker count must NOT be in the key");
     assert_eq!(stats.hits, 1);
     assert_eq!(hit.signature, opt.optimize(&base).unwrap().signature);
+}
+
+#[test]
+fn risk_policies_get_their_own_cache_entries() {
+    // ISSUE 9: the plan signature covers the risk policy, so the same
+    // workload under two policies occupies two cache lines — a
+    // MeanPlusKSigma hit must never serve an ExpectedCost entry.
+    let mut opt = Optimizer::named();
+    opt.train(&TrainRequest::new(200))
+        .expect("train a forest so spreads are real");
+    let spec = WorkloadSpec::Pipeline { ops: 7, scale: 1e6 };
+    let expected = OptimizeRequest::new(spec);
+    let robust = OptimizeRequest::new(spec).with_risk(RiskPolicy::MeanPlusKSigma(1.5));
+
+    let e_cold = opt.optimize(&expected).expect("expected cold");
+    assert_eq!(opt.cache_stats().misses, 1);
+    let r_cold = opt.optimize(&robust).expect("sigma cold");
+    let s = opt.cache_stats();
+    assert_eq!(
+        (s.hits, s.misses, s.insertions),
+        (0, 2, 2),
+        "two risk policies must occupy two cache entries"
+    );
+    assert_ne!(e_cold.signature, r_cold.signature);
+    assert_eq!(e_cold.risk_policy, "expected");
+    assert_eq!(r_cold.risk_policy, "sigma1.5");
+
+    // Replays hit their own policy's entry and are bit-identical to cold.
+    let e_hit = opt.optimize(&expected).expect("expected hit");
+    let r_hit = opt.optimize(&robust).expect("sigma hit");
+    let s2 = opt.cache_stats();
+    assert_eq!((s2.hits, s2.misses), (2, 2));
+    assert_eq!(e_hit, e_cold, "expected replay diverged");
+    assert_eq!(r_hit, r_cold, "sigma replay diverged");
+    assert_eq!(
+        r_hit.risk_policy, "sigma1.5",
+        "a sigma hit must never serve the expected entry"
+    );
+
+    // Cache-off recompute per policy stays bit-identical too, and the
+    // forest-backed response carries a real (ordered) uncertainty band.
+    let mut reference = Optimizer::named();
+    reference.set_cache_enabled(false);
+    reference
+        .train(&TrainRequest::new(200))
+        .expect("same training request, same forest");
+    assert_eq!(reference.optimize(&expected).expect("cache-off"), e_cold);
+    assert_eq!(reference.optimize(&robust).expect("cache-off"), r_cold);
+    assert!(e_cold.cost_std >= 0.0);
+    assert!(e_cold.cost_q10 <= e_cold.cost_q90, "quantiles are ordered");
 }
 
 #[test]
