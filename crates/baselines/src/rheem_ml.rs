@@ -89,6 +89,7 @@ impl ObjectEnumerator {
     /// Run the enumeration; result matches the vector enumerator's optimum
     /// over the same registry and oracle (both carried by `opts`). The
     /// strawman always prunes (Def-2); `opts.prune()` is ignored.
+    // lint:allow(panic-expect) whole-fn invariants: union-find roots always hold live units (contracted roots are never re-found), the plan is asserted connected so every contraction round finds a crossing edge, and every singleton keeps >= 1 availability-masked plan through merges
     pub fn enumerate(
         &mut self,
         plan: &LogicalPlan,
@@ -142,9 +143,7 @@ impl ObjectEnumerator {
                 if ra == rb {
                     continue;
                 }
-                // lint:allow(panic-expect) union-find root always holds a live unit (contracted roots are never re-found)
                 let pa = units[ra as usize].as_ref().expect("live unit at root");
-                // lint:allow(panic-expect) union-find root always holds a live unit (contracted roots are never re-found)
                 let pb = units[rb as usize].as_ref().expect("live unit at root");
                 let pri = (pa.plans.len() * pb.plans.len()) as u64;
                 let tie = Self::boundary_of(plan, pa.scope.union(pb.scope)).len() as u32;
@@ -153,11 +152,8 @@ impl ObjectEnumerator {
                     best = Some(key);
                 }
             }
-            // lint:allow(panic-expect) the plan is asserted connected, so every contraction round finds a crossing edge
             let (_, _, _, ra, rb) = best.expect("connected plan has a crossing edge");
-            // lint:allow(panic-expect) union-find root always holds a live unit (contracted roots are never re-found)
             let a = units[ra as usize].take().expect("live unit at root");
-            // lint:allow(panic-expect) union-find root always holds a live unit (contracted roots are never re-found)
             let b = units[rb as usize].take().expect("live unit at root");
             let merged_scope = a.scope.union(b.scope);
             let boundary = Self::boundary_of(plan, merged_scope);
@@ -230,13 +226,11 @@ impl ObjectEnumerator {
         }
 
         let root = find(&mut parent, 0);
-        // lint:allow(panic-expect) union-find root always holds a live unit (contracted roots are never re-found)
         let unit = units[root as usize].take().expect("live unit at root");
         let (best_node, best_cost) = unit
             .plans
             .iter()
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            // lint:allow(panic-expect) every singleton has >= 1 availability-masked plan and merges keep >= 1 row
             .expect("non-empty enumeration");
         let mut placements = Vec::new();
         best_node.collect_into(&mut placements);

@@ -719,6 +719,7 @@ impl Enumerator {
     /// Run Algorithm 1. The plan must be sealed and connected; the layout's
     /// platform dimension must match the registry carried by `opts`, and the
     /// oracle carried by `opts` must expect the layout's row width.
+    // lint:surface(deterministic)
     pub fn enumerate(
         &mut self,
         plan: &LogicalPlan,

@@ -145,6 +145,7 @@ impl<'a> Engine<'a> {
 
     /// Run `plan` and keep the terminal record streams (the trait method
     /// [`ExecutionBackend::execute`] drops them).
+    // lint:surface(deterministic)
     pub fn execute_collect(
         &self,
         plan: &LogicalPlan,
@@ -579,6 +580,7 @@ impl ExecutionBackend for Engine<'_> {
         "engine"
     }
 
+    // lint:surface(deterministic)
     fn execute(&self, plan: &LogicalPlan, assignments: &[PlatformId]) -> ExecutionReport {
         self.execute_collect(plan, assignments).report
     }

@@ -1,0 +1,554 @@
+//! A lightweight Rust *item* parser on top of the line lexer.
+//!
+//! [`crate::lexer::scan`] gives every rule comment-free, literal-blanked
+//! code text; this module recovers the item structure the interprocedural
+//! passes need: `fn` items (free functions, inherent and trait-impl
+//! methods, trait declarations with default bodies), the `impl` / `trait`
+//! blocks that scope them, and `use` declarations (including groups,
+//! renames and globs) so cross-crate calls can be path-resolved.
+//!
+//! It is deliberately *not* a full Rust parser. The workspace is
+//! rustfmt-formatted, which the parser leans on in exactly two places:
+//! `impl` and `trait` headers start their line (so `-> impl Iterator`
+//! return types are never mistaken for blocks), and a `fn` signature never
+//! shares its line with an unrelated earlier `{`. Everything else —
+//! multi-line signatures, where-clauses, nested modules, `#[cfg(test)]`
+//! items — is handled structurally via brace matching.
+
+use crate::lexer::{find_word, LineScan};
+use crate::workspace::{find_code_char, match_brace};
+
+/// One `use` binding: the in-scope name and the full path it stands for.
+/// Glob imports bind the special alias `*`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseBinding {
+    /// Name the binding introduces (`alias` in `use a::b as alias`; the
+    /// last path segment otherwise; `*` for globs).
+    pub alias: String,
+    /// Full path segments, e.g. `["robopt_core", "enumerate", "EnumOptions"]`.
+    pub path: Vec<String>,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    pub name: String,
+    /// The `impl`/`trait` type this fn is a method of (`Engine` for
+    /// `impl ExecutionBackend for Engine`); `None` for free functions.
+    pub self_ty: Option<String>,
+    /// Trait name when the enclosing block is `impl Trait for Type` or a
+    /// `trait Trait { … }` declaration.
+    pub trait_name: Option<String>,
+    pub is_pub: bool,
+    /// 0-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// `(open-brace line, close-brace line)`; `None` for bodyless trait
+    /// method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Column of the opening brace on its line (calls are scanned from
+    /// there, so sibling signature text is never misread as body code).
+    pub body_open_col: usize,
+    /// The fn sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// Everything parsed out of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct FileItems {
+    pub fns: Vec<FnItem>,
+    pub uses: Vec<UseBinding>,
+}
+
+/// An `impl`/`trait` block span scoping the methods inside it.
+#[derive(Debug, Clone)]
+struct ContainerSpan {
+    start: usize,
+    end: usize,
+    self_ty: String,
+    trait_name: Option<String>,
+}
+
+/// Last path segment of a type expression, generics/refs stripped:
+/// `&'a mut Engine<'a>` → `Engine`, `fmt::Display` → `Display`.
+fn last_type_segment(expr: &str) -> String {
+    let mut cleaned = String::new();
+    let mut depth = 0i32;
+    for c in expr.chars() {
+        match c {
+            '<' => depth += 1,
+            '>' => depth -= 1,
+            _ if depth == 0 => cleaned.push(c),
+            _ => {}
+        }
+    }
+    cleaned
+        .split("::")
+        .last()
+        .unwrap_or("")
+        .chars()
+        .filter(|c| c.is_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// First `{` or `;` at *bracket depth zero* from `(li, ci)` — the char
+/// that ends an item header. Semicolons inside `(...)` / `[...]` (array
+/// types like `[f64; N]` in parameters or return position) are part of the
+/// signature, not a bodyless-declaration terminator.
+fn find_header_end(lines: &[LineScan], li: usize, ci: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut cur = (li, ci);
+    loop {
+        let (bl, bc) = find_code_char(lines, cur.0, cur.1, |c| {
+            matches!(c, '{' | ';' | '(' | ')' | '[' | ']')
+        })?;
+        let c = lines
+            .get(bl)
+            .and_then(|l| l.code.get(bc..))
+            .and_then(|s| s.chars().next())?;
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            _ if depth == 0 => return Some((bl, bc)),
+            _ => {}
+        }
+        cur = (bl, bc + 1);
+    }
+}
+
+/// Parse the `impl`/`trait` container blocks of a file.
+fn parse_containers(lines: &[LineScan]) -> Vec<ContainerSpan> {
+    let mut out = Vec::new();
+    for li in 0..lines.len() {
+        let code = lines.get(li).map(|l| l.code.as_str()).unwrap_or("");
+        let trimmed = code.trim_start();
+        let (kw, is_trait) = if trimmed.starts_with("impl") {
+            ("impl", false)
+        } else if trimmed.starts_with("trait ")
+            || trimmed.starts_with("pub trait ")
+            || trimmed.starts_with("pub(crate) trait ")
+        {
+            ("trait", true)
+        } else {
+            continue;
+        };
+        // `impl` must be the keyword, not a prefix of an identifier.
+        let kw_at = match code.find(kw) {
+            Some(at) => at,
+            None => continue,
+        };
+        let after = code
+            .get(kw_at + kw.len()..)
+            .and_then(|s| s.chars().next())
+            .unwrap_or(' ');
+        if after.is_alphanumeric() || after == '_' {
+            continue;
+        }
+        let Some((bl, bc)) = find_header_end(lines, li, kw_at) else {
+            continue;
+        };
+        let opens = lines
+            .get(bl)
+            .and_then(|l| l.code.get(bc..))
+            .and_then(|s| s.chars().next())
+            == Some('{');
+        if !opens {
+            continue; // `trait Marker: Base;`-style item, no methods
+        }
+        let end = match_brace(lines, bl, bc).unwrap_or(bl);
+        // Header text between the keyword and the opening brace.
+        let mut header = String::new();
+        for (i, l) in lines.iter().enumerate().take(bl + 1).skip(li) {
+            let s = l.code.as_str();
+            let lo = if i == li { kw_at + kw.len() } else { 0 };
+            let hi = if i == bl { bc } else { s.len() };
+            header.push_str(s.get(lo..hi).unwrap_or(""));
+            header.push(' ');
+        }
+        // Drop leading generic parameters `<…>` of the impl itself.
+        let header = header.trim_start();
+        let header = if header.starts_with('<') {
+            let mut depth = 0i32;
+            let mut cut = header.len();
+            for (at, c) in header.char_indices() {
+                match c {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            cut = at + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            header.get(cut..).unwrap_or("")
+        } else {
+            header
+        };
+        let (self_ty, trait_name) = if is_trait {
+            (last_type_segment(header), None)
+        } else {
+            match split_on_for(header) {
+                Some((trait_part, type_part)) => (
+                    last_type_segment(type_part),
+                    Some(last_type_segment(trait_part)),
+                ),
+                None => (last_type_segment(header), None),
+            }
+        };
+        if self_ty.is_empty() {
+            continue;
+        }
+        out.push(ContainerSpan {
+            start: li,
+            end,
+            self_ty,
+            trait_name,
+        });
+    }
+    out
+}
+
+/// Split an impl header on the ` for ` keyword (word-boundary, outside
+/// generics) into `(trait, type)`.
+fn split_on_for(header: &str) -> Option<(&str, &str)> {
+    let bytes = header.as_bytes();
+    for at in find_word(header, "for") {
+        // Recompute the generic depth up to this occurrence.
+        let mut depth = 0i32;
+        for &b in bytes.get(..at).unwrap_or(&[]) {
+            match b {
+                b'<' => depth += 1,
+                b'>' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth == 0 {
+            return Some((
+                header.get(..at).unwrap_or(""),
+                header.get(at + 3..).unwrap_or(""),
+            ));
+        }
+    }
+    None
+}
+
+/// Parse the `use` declarations of a file into flat alias bindings.
+fn parse_uses(lines: &[LineScan]) -> Vec<UseBinding> {
+    let mut out = Vec::new();
+    for li in 0..lines.len() {
+        let code = lines.get(li).map(|l| l.code.as_str()).unwrap_or("");
+        let trimmed = code.trim_start();
+        let rest = trimmed
+            .strip_prefix("pub use ")
+            .or_else(|| trimmed.strip_prefix("pub(crate) use "))
+            .or_else(|| trimmed.strip_prefix("use "));
+        let Some(rest) = rest else { continue };
+        // Gather the declaration text up to its terminating `;`.
+        let mut decl = String::new();
+        let mut done = false;
+        decl.push_str(rest);
+        if let Some(p) = decl.find(';') {
+            decl.truncate(p);
+            done = true;
+        }
+        let mut nl = li + 1;
+        while !done && nl < lines.len() {
+            let c = lines.get(nl).map(|l| l.code.as_str()).unwrap_or("");
+            match c.find(';') {
+                Some(p) => {
+                    decl.push_str(c.get(..p).unwrap_or(""));
+                    done = true;
+                }
+                None => decl.push_str(c),
+            }
+            nl += 1;
+        }
+        flatten_use_tree(&decl, &mut Vec::new(), &mut out);
+    }
+    out
+}
+
+/// Recursively flatten a use-tree (`a::{b, c::d as e, f::*}`) into
+/// bindings under `prefix`.
+fn flatten_use_tree(tree: &str, prefix: &mut Vec<String>, out: &mut Vec<UseBinding>) {
+    let tree = tree.trim();
+    if tree.is_empty() {
+        return;
+    }
+    // Split `head::{group}` / `head::tail` / leaf.
+    if let Some(brace) = tree.find('{') {
+        // Everything before the brace is path segments ending with `::`.
+        let head = tree
+            .get(..brace)
+            .unwrap_or("")
+            .trim()
+            .trim_end_matches("::");
+        let depth_added: Vec<String> = head
+            .split("::")
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().to_string())
+            .collect();
+        prefix.extend(depth_added.iter().cloned());
+        let inner = tree
+            .get(brace + 1..)
+            .unwrap_or("")
+            .trim_end()
+            .trim_end_matches('}');
+        for part in split_top_level(inner) {
+            flatten_use_tree(&part, prefix, out);
+        }
+        prefix.truncate(prefix.len() - depth_added.len());
+        return;
+    }
+    // Leaf: `a::b::c [as alias]` or glob `a::b::*`.
+    let (path_text, alias) = match find_word(tree, "as").first() {
+        Some(&at) => (
+            tree.get(..at).unwrap_or("").trim(),
+            Some(tree.get(at + 2..).unwrap_or("").trim().to_string()),
+        ),
+        None => (tree, None),
+    };
+    let mut path: Vec<String> = prefix.clone();
+    for seg in path_text.split("::") {
+        let seg = seg.trim();
+        if !seg.is_empty() {
+            path.push(seg.to_string());
+        }
+    }
+    if path.is_empty() {
+        return;
+    }
+    let alias = alias.unwrap_or_else(|| path.last().cloned().unwrap_or_default());
+    out.push(UseBinding { alias, path });
+}
+
+/// Split a use-group body on top-level commas (nested `{}` kept intact).
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '}' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+/// Parse one lexed file into its items.
+pub fn parse_file(lines: &[LineScan], test_mask: &[bool]) -> FileItems {
+    let containers = parse_containers(lines);
+    let mut fns = Vec::new();
+    for li in 0..lines.len() {
+        let code = lines.get(li).map(|l| l.code.as_str()).unwrap_or("");
+        for at in find_word(code, "fn") {
+            // Name: the identifier after `fn` (skipping whitespace). `fn(`
+            // pointer types and `Fn` bounds produce no name and are skipped.
+            let after = code.get(at + 2..).unwrap_or("");
+            let name: String = after
+                .trim_start()
+                .chars()
+                .take_while(|&c| c.is_alphanumeric() || c == '_')
+                .collect();
+            if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            let is_pub = !find_word(code.get(..at).unwrap_or(""), "pub").is_empty();
+            let (body, body_open_col) = match find_header_end(lines, li, at) {
+                Some((bl, bc)) => {
+                    let opens = lines
+                        .get(bl)
+                        .and_then(|l| l.code.get(bc..))
+                        .and_then(|s| s.chars().next())
+                        == Some('{');
+                    if opens {
+                        let end = match_brace(lines, bl, bc).unwrap_or(bl);
+                        (Some((bl, end)), bc)
+                    } else {
+                        (None, 0)
+                    }
+                }
+                None => (None, 0),
+            };
+            // Innermost container whose span covers the signature line.
+            let container = containers
+                .iter()
+                .filter(|c| c.start <= li && li <= c.end)
+                .min_by_key(|c| c.end - c.start);
+            fns.push(FnItem {
+                name,
+                self_ty: container.map(|c| c.self_ty.clone()),
+                trait_name: container.and_then(|c| c.trait_name.clone()),
+                is_pub,
+                sig_line: li,
+                body,
+                body_open_col,
+                in_test: test_mask.get(li).copied().unwrap_or(false),
+            });
+        }
+    }
+    FileItems {
+        fns,
+        uses: parse_uses(lines),
+    }
+}
+
+/// Map every line to the signature line of its innermost enclosing fn
+/// (used for whole-function `lint:allow` placement).
+pub fn enclosing_fn_sig(items: &FileItems, n_lines: usize) -> Vec<Option<usize>> {
+    let mut sig: Vec<Option<usize>> = vec![None; n_lines];
+    let mut span: Vec<usize> = vec![usize::MAX; n_lines];
+    for f in &items.fns {
+        let Some((_, end)) = f.body else { continue };
+        let width = end.saturating_sub(f.sig_line);
+        for li in f.sig_line..=end.min(n_lines.saturating_sub(1)) {
+            if width < span[li] {
+                span[li] = width;
+                sig[li] = Some(f.sig_line);
+            }
+        }
+    }
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::workspace::compute_test_mask;
+
+    fn parse(src: &str) -> FileItems {
+        let lines = scan(src);
+        let mask = compute_test_mask(&lines);
+        parse_file(&lines, &mask)
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_distinguished() {
+        let src = "pub fn free(x: u32) -> u32 { x }\n\
+                   impl Engine {\n    pub fn start(&self) {}\n    fn stop(&self) {}\n}\n\
+                   impl fmt::Display for Engine {\n    fn fmt(&self) {}\n}\n";
+        let items = parse(src);
+        let names: Vec<(&str, Option<&str>, Option<&str>)> = items
+            .fns
+            .iter()
+            .map(|f| {
+                (
+                    f.name.as_str(),
+                    f.self_ty.as_deref(),
+                    f.trait_name.as_deref(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None, None),
+                ("start", Some("Engine"), None),
+                ("stop", Some("Engine"), None),
+                ("fmt", Some("Engine"), Some("Display")),
+            ]
+        );
+        assert!(items.fns[0].is_pub && items.fns[1].is_pub && !items.fns[2].is_pub);
+    }
+
+    #[test]
+    fn trait_decls_carry_the_trait_as_self_ty() {
+        let src = "pub trait Backend {\n    fn execute(&self);\n    fn execute_raw(&self) {\n        self.execute()\n    }\n}\n";
+        let items = parse(src);
+        assert_eq!(items.fns.len(), 2);
+        assert_eq!(items.fns[0].self_ty.as_deref(), Some("Backend"));
+        assert!(items.fns[0].body.is_none(), "bodyless declaration");
+        assert_eq!(items.fns[1].body, Some((2, 4)));
+    }
+
+    #[test]
+    fn impl_generics_and_return_position_impl_are_not_blocks() {
+        let src = "impl<'a, T: Clone> Holder<'a, T> {\n    fn get(&self) {}\n}\n\
+                   fn make() -> impl Iterator<Item = u32> {\n    (0..3).map(|x| x)\n}\n";
+        let items = parse(src);
+        assert_eq!(items.fns[0].self_ty.as_deref(), Some("Holder"));
+        // `make` is a free fn: `-> impl Iterator` must not open a container.
+        assert_eq!(items.fns[1].self_ty, None);
+    }
+
+    #[test]
+    fn array_types_in_signatures_do_not_end_the_header() {
+        // The `;` inside `[f64; 6]` (param or return position) is part of
+        // the signature — the fn still has a body.
+        let src = "fn coeffs(xs: &[f64], ys: [f64; 6]) -> [f64; 6] {\n    ys\n}\n";
+        let items = parse(src);
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].body, Some((0, 2)));
+    }
+
+    #[test]
+    fn multiline_signatures_and_bodies_resolve() {
+        let src = "pub fn long(\n    a: u32,\n    b: u32,\n) -> u32 {\n    a + b\n}\n";
+        let items = parse(src);
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].sig_line, 0);
+        assert_eq!(items.fns[0].body, Some((3, 5)));
+    }
+
+    #[test]
+    fn use_groups_renames_and_globs_flatten() {
+        let src = "use robopt_core::{enumerate::{EnumOptions, Enumerator as En}, split_plan};\nuse robopt_ml::metrics::*;\n";
+        let items = parse(src);
+        let find = |alias: &str| {
+            items
+                .uses
+                .iter()
+                .find(|u| u.alias == alias)
+                .map(|u| u.path.join("::"))
+        };
+        assert_eq!(
+            find("EnumOptions").as_deref(),
+            Some("robopt_core::enumerate::EnumOptions")
+        );
+        assert_eq!(
+            find("En").as_deref(),
+            Some("robopt_core::enumerate::Enumerator")
+        );
+        assert_eq!(
+            find("split_plan").as_deref(),
+            Some("robopt_core::split_plan")
+        );
+        assert_eq!(find("*").as_deref(), Some("robopt_ml::metrics::*"));
+    }
+
+    #[test]
+    fn test_mask_marks_fns_in_cfg_test() {
+        let src = "pub fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let items = parse(src);
+        assert!(!items.fns[0].in_test);
+        assert!(items.fns[1].in_test);
+    }
+
+    #[test]
+    fn enclosing_fn_map_prefers_the_innermost_fn() {
+        let src =
+            "pub fn outer() {\n    fn inner() {\n        let x = 1;\n    }\n    inner();\n}\n";
+        let items = parse(src);
+        let map = enclosing_fn_sig(&items, 6);
+        assert_eq!(map[0], Some(0));
+        assert_eq!(map[2], Some(1), "line in inner maps to inner's signature");
+        assert_eq!(map[4], Some(0), "after inner closes, back to outer");
+    }
+}

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use crate::callgraph::GraphSummary;
+
 /// A rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -17,6 +19,23 @@ pub struct Diagnostic {
     /// Rule id, e.g. `panic-unwrap`.
     pub rule: &'static str,
     pub message: String,
+    /// Interprocedural rules attach the call chain from the reported
+    /// surface fn down to the source (`serve → optimize → merge → v[0]`);
+    /// empty for line-level rules.
+    pub witness: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A line-level diagnostic (no witness path).
+    pub fn new(file: String, line: usize, rule: &'static str, message: String) -> Self {
+        Diagnostic {
+            file,
+            line,
+            rule,
+            message,
+            witness: Vec::new(),
+        }
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -45,6 +64,8 @@ pub struct LintOutcome {
     pub violations: Vec<Diagnostic>,
     pub allowed: Vec<Suppression>,
     pub files_scanned: usize,
+    /// Call-graph statistics from the interprocedural passes.
+    pub graph: GraphSummary,
 }
 
 impl LintOutcome {
@@ -69,6 +90,24 @@ impl LintOutcome {
             "  \"violation_count\": {},\n",
             self.violations.len()
         ));
+        s.push_str(&format!(
+            "  \"suppression_count\": {},\n",
+            self.allowed.len()
+        ));
+        let g = &self.graph;
+        s.push_str(&format!(
+            "  \"graph\": {{\"functions\": {}, \"edges\": {}, \"crates\": {}, \
+             \"resolved_calls\": {}, \"unresolved_calls\": {}, \"external_calls\": {}, \
+             \"deterministic_roots\": {}, \"no_panic_roots\": {}}},\n",
+            g.functions,
+            g.edges,
+            g.crates,
+            g.resolved_calls,
+            g.unresolved_calls,
+            g.external_calls,
+            g.deterministic_roots,
+            g.no_panic_roots
+        ));
         s.push_str("  \"violations\": [\n");
         for (i, d) in self.violations.iter().enumerate() {
             let comma = if i + 1 < self.violations.len() {
@@ -76,12 +115,19 @@ impl LintOutcome {
             } else {
                 ""
             };
+            let witness = d
+                .witness
+                .iter()
+                .map(|w| json_str(w))
+                .collect::<Vec<_>>()
+                .join(", ");
             s.push_str(&format!(
-                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}{}\n",
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"witness\": [{}]}}{}\n",
                 json_str(&d.file),
                 d.line,
                 json_str(d.rule),
                 json_str(&d.message),
+                witness,
                 comma
             ));
         }
@@ -155,25 +201,30 @@ mod tests {
                 line: 3,
                 rule: "panic-unwrap",
                 message: "say \"no\"".to_string(),
+                witness: vec!["serve".to_string(), "helper".to_string()],
             }],
             allowed: Vec::new(),
             files_scanned: 2,
+            graph: GraphSummary::default(),
         };
         out.sort();
         let j = out.to_json();
         assert!(j.contains("\"a\\\\b.rs\""));
         assert!(j.contains("\\\"no\\\""));
         assert!(j.contains("\"violation_count\": 1"));
+        assert!(j.contains("\"suppression_count\": 0"));
+        assert!(j.contains("\"witness\": [\"serve\", \"helper\"]"));
+        assert!(j.contains("\"graph\": {\"functions\": 0"));
     }
 
     #[test]
     fn display_is_rustc_style() {
-        let d = Diagnostic {
-            file: "crates/core/src/enumerate.rs".to_string(),
-            line: 12,
-            rule: "hash-container",
-            message: "m".to_string(),
-        };
+        let d = Diagnostic::new(
+            "crates/core/src/enumerate.rs".to_string(),
+            12,
+            "hash-container",
+            "m".to_string(),
+        );
         assert_eq!(
             d.to_string(),
             "crates/core/src/enumerate.rs:12: hash-container: m"

@@ -97,10 +97,30 @@ pub const RULES: &[RuleInfo] = &[
         id: "risk-policy-cache-key",
         guards: "cache soundness: a struct with a cache-key fn and a risk field must hash the risk policy into the key",
     },
+    RuleInfo {
+        id: "determinism-taint",
+        guards: "interprocedural determinism: no fn on the declared deterministic surface may transitively reach an unjustified nondeterminism source",
+    },
+    RuleInfo {
+        id: "panic-reachability",
+        guards: "interprocedural panic-freedom: no fn on the declared no-panic surface may transitively reach an unjustified panic site",
+    },
+    RuleInfo {
+        id: "float-total-order",
+        guards: "determinism: partial_cmp().unwrap() and raw `<` comparators are NaN-unsafe; use f64::total_cmp",
+    },
 ];
 
-/// Run every rule over the loaded workspace.
+/// Run every rule over the loaded workspace (builds the call graph
+/// internally; callers that also want the graph use [`check_with_graph`]).
 pub fn check(ws: &Workspace) -> LintOutcome {
+    let graph = crate::callgraph::build(ws);
+    check_with_graph(ws, &graph)
+}
+
+/// Run every rule — the 16 line/contract rules plus the interprocedural
+/// taint passes over a prebuilt call graph.
+pub fn check_with_graph(ws: &Workspace, graph: &crate::callgraph::CallGraph) -> LintOutcome {
     let mut out = LintOutcome {
         files_scanned: ws.files_scanned(),
         ..LintOutcome::default()
@@ -116,17 +136,33 @@ pub fn check(ws: &Workspace) -> LintOutcome {
     for d in &ws.docs {
         check_doc(&ws.root, d, &mut out);
     }
+    let (det_roots, np_roots) = crate::taint::run(ws, graph, &mut out);
+    out.graph = graph.summary();
+    out.graph.deterministic_roots = det_roots;
+    out.graph.no_panic_roots = np_roots;
     out.sort();
     out
 }
 
-/// `lint:allow(<rule>) <justification>` on the same or the immediately
-/// preceding line; the justification must be non-empty.
-fn allow_justification(lines: &[LineScan], li: usize, rule: &str) -> Option<String> {
+/// `lint:allow(<rule>) <justification>` — accepted on the violation line,
+/// the line immediately preceding it, the enclosing fn's signature line,
+/// or the line immediately preceding that signature (whole-function
+/// allows). The justification is mandatory.
+pub(crate) fn allow_justification(file: &SourceFile, li: usize, rule: &str) -> Option<String> {
     let needle = format!("lint:allow({rule})");
-    let candidates = [Some(li), li.checked_sub(1)];
+    let sig = file.fn_sigs.get(li).copied().flatten();
+    let candidates = [
+        Some(li),
+        li.checked_sub(1),
+        sig,
+        sig.and_then(|s| s.checked_sub(1)),
+    ];
     for cand in candidates.into_iter().flatten() {
-        let comment = lines.get(cand).map(|l| l.comment.as_str()).unwrap_or("");
+        let comment = file
+            .lines
+            .get(cand)
+            .map(|l| l.comment.as_str())
+            .unwrap_or("");
         if let Some(pos) = comment.find(&needle) {
             let rest = comment.get(pos + needle.len()..).unwrap_or("").trim();
             if !rest.is_empty() {
@@ -139,20 +175,23 @@ fn allow_justification(lines: &[LineScan], li: usize, rule: &str) -> Option<Stri
 
 /// Record a hit on line `li` (0-based): a violation, unless a justified
 /// `lint:allow` suppresses it.
-fn emit(file: &SourceFile, li: usize, rule: &'static str, message: String, out: &mut LintOutcome) {
-    match allow_justification(&file.lines, li, rule) {
+pub(crate) fn emit(
+    file: &SourceFile,
+    li: usize,
+    rule: &'static str,
+    message: String,
+    out: &mut LintOutcome,
+) {
+    match allow_justification(file, li, rule) {
         Some(justification) => out.allowed.push(Suppression {
             file: file.rel.clone(),
             line: li + 1,
             rule,
             justification,
         }),
-        None => out.violations.push(Diagnostic {
-            file: file.rel.clone(),
-            line: li + 1,
-            rule,
-            message,
-        }),
+        None => out
+            .violations
+            .push(Diagnostic::new(file.rel.clone(), li + 1, rule, message)),
     }
 }
 
@@ -247,6 +286,18 @@ fn check_source(file: &SourceFile, out: &mut LintOutcome) {
                     "indexing with an integer literal can go out of bounds; use \
                      .get()/.first(), or justify in-bounds-by-construction with \
                      lint:allow(index-literal)"
+                        .to_string(),
+                    out,
+                );
+            }
+            if nan_unsafe_comparison(code) {
+                emit(
+                    file,
+                    li,
+                    "float-total-order",
+                    "NaN-unsafe float comparison: partial_cmp().unwrap() panics on NaN \
+                     and hand-rolled `<` comparators drop NaN ordering; use \
+                     f64::total_cmp for a deterministic total order"
                         .to_string(),
                     out,
                 );
@@ -362,7 +413,7 @@ fn joined_in_scope(lines: &[LineScan], li: usize, col: usize) -> bool {
 
 /// `foo[3]`-style indexing: `[` preceded by an identifier character, `)` or
 /// `]`, whose bracket content is a bare integer literal.
-fn has_literal_index(code: &str) -> bool {
+pub(crate) fn has_literal_index(code: &str) -> bool {
     for (at, c) in code.char_indices() {
         if c != '[' {
             continue;
@@ -390,6 +441,22 @@ fn has_literal_index(code: &str) -> bool {
         }
     }
     false
+}
+
+/// Rule 19 `float-total-order`: a `partial_cmp` whose `Option` is
+/// force-unwrapped panics the library on the first NaN, and a comparator
+/// built from a raw `<` silently drops NaN ordering — both break the
+/// deterministic total order `f64::total_cmp` provides. `sort_by` with a
+/// raw `<` only arises in `if a < b { Less } …` hand-rolled comparators
+/// (a bare `<` closure would not type-check as `Ordering`).
+fn nan_unsafe_comparison(code: &str) -> bool {
+    if code.contains("partial_cmp") && (code.contains(".unwrap()") || code.contains(".expect(")) {
+        return true;
+    }
+    code.contains("sort_by")
+        && code.contains(" < ")
+        && !code.contains("total_cmp")
+        && !code.contains("partial_cmp")
 }
 
 /// Join the code of lines `lo..=hi` with spaces (signature/header text).
@@ -752,16 +819,16 @@ fn check_manifest(tf: &TextFile, out: &mut LintOutcome) {
             continue;
         }
         if !(line.contains("workspace") || line.contains("path")) {
-            out.violations.push(Diagnostic {
-                file: tf.rel.clone(),
-                line: li + 1,
-                rule: "workspace-deps",
-                message: format!(
+            out.violations.push(Diagnostic::new(
+                tf.rel.clone(),
+                li + 1,
+                "workspace-deps",
+                format!(
                     "`{line}` pulls a dependency from outside the workspace; the build \
                      image is offline — keep the workspace dependency-free (in-tree \
                      stand-ins, see Cargo.toml NOTE)"
                 ),
-            });
+            ));
         }
     }
 }
@@ -771,12 +838,12 @@ fn check_doc(root: &Path, tf: &TextFile, out: &mut LintOutcome) {
     for (li, line) in tf.text.lines().enumerate() {
         for path in artifact_refs(line) {
             if !root.join(&path).is_file() {
-                out.violations.push(Diagnostic {
-                    file: tf.rel.clone(),
-                    line: li + 1,
-                    rule: "artifact-exists",
-                    message: format!("referenced artifact `{path}` does not exist on disk"),
-                });
+                out.violations.push(Diagnostic::new(
+                    tf.rel.clone(),
+                    li + 1,
+                    "artifact-exists",
+                    format!("referenced artifact `{path}` does not exist on disk"),
+                ));
             }
         }
     }
@@ -840,6 +907,8 @@ mod tests {
     fn fixture(crate_name: &str, src: &str) -> SourceFile {
         let lines = scan(src);
         let test_mask = compute_test_mask(&lines);
+        let items = crate::parser::parse_file(&lines, &test_mask);
+        let fn_sigs = crate::parser::enclosing_fn_sig(&items, lines.len());
         SourceFile {
             rel: format!("crates/{crate_name}/src/fixture.rs"),
             crate_name: crate_name.to_string(),
@@ -848,6 +917,8 @@ mod tests {
             is_crate_root: false,
             lines,
             test_mask,
+            items,
+            fn_sigs,
         }
     }
 
@@ -963,6 +1034,72 @@ mod tests {
             "pub const W: [f64; 3] = [1.0, 2.0, 3.0];\n"
         ))
         .is_empty());
+    }
+
+    // -- float-total-order ----------------------------------------------
+
+    #[test]
+    fn partial_cmp_unwrap_is_flagged() {
+        let src = "pub fn s(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        let hits = rule_hits(&lint("ml", src));
+        assert!(hits.contains(&"float-total-order"), "{hits:?}");
+        let expected =
+            "pub fn s(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).expect(\"no NaN\")); }\n";
+        assert!(rule_hits(&lint("ml", expected)).contains(&"float-total-order"));
+    }
+
+    #[test]
+    fn hand_rolled_less_than_comparator_is_flagged() {
+        let src = "pub fn s(v: &mut [f64]) {\n    v.sort_by(|a, b| if a < b { Less } else { Greater });\n}\n";
+        assert_eq!(rule_hits(&lint("core", src)), vec!["float-total-order"]);
+    }
+
+    #[test]
+    fn total_cmp_sorts_and_exempt_crates_pass() {
+        let good = "pub fn s(v: &mut [f64]) { v.sort_by(f64::total_cmp); }\n";
+        assert!(rule_hits(&lint("ml", good)).is_empty());
+        // Comparing through partial_cmp without unwrapping is fine too.
+        let propagated = "pub fn m(a: f64, b: f64) -> Option<Ordering> { a.partial_cmp(&b) }\n";
+        assert!(rule_hits(&lint("ml", propagated)).is_empty());
+        let bench = "pub fn s(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        assert!(rule_hits(&lint("bench", bench)).is_empty());
+    }
+
+    // -- fn-level lint:allow placement ----------------------------------
+
+    #[test]
+    fn allow_on_the_enclosing_fn_signature_covers_the_whole_body() {
+        let src = "// lint:allow(panic-unwrap) fixture: both inputs set by the ctor\n\
+                   pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n\
+                   \x20   let a = x.unwrap();\n\
+                   \x20   let b = y.unwrap();\n\
+                   \x20   a + b\n\
+                   }\n";
+        let out = lint("plan", src);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.allowed.len(), 2, "one audited suppression per line");
+        assert!(out.allowed.iter().all(|a| a.rule == "panic-unwrap"));
+    }
+
+    #[test]
+    fn allow_on_the_signature_line_itself_works_too() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { // lint:allow(panic-unwrap) ctor invariant\n\
+                   \x20   x.unwrap()\n\
+                   }\n";
+        let out = lint("plan", src);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.allowed.len(), 1);
+    }
+
+    #[test]
+    fn fn_level_allow_does_not_leak_past_the_fn_body() {
+        let src = "// lint:allow(panic-unwrap) fixture: covered fn only\n\
+                   pub fn covered(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   pub fn uncovered(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let out = lint("plan", src);
+        assert_eq!(rule_hits(&out), vec!["panic-unwrap"]);
+        assert!(out.violations.first().is_some_and(|d| d.line == 3));
+        assert_eq!(out.allowed.len(), 1);
     }
 
     // -- thread-spawn-join ----------------------------------------------

@@ -24,6 +24,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::{scan, LineScan};
+use crate::parser::{self, FileItems};
 use crate::report::LintError;
 
 /// Crates whose iteration order and value provenance must be a pure
@@ -58,6 +59,11 @@ pub struct SourceFile {
     pub lines: Vec<LineScan>,
     /// `test_mask[i]` — line `i` (0-based) is inside a `#[cfg(test)]` item.
     pub test_mask: Vec<bool>,
+    /// Parsed items (fn table + `use` bindings) for the call graph.
+    pub items: FileItems,
+    /// `fn_sigs[i]` — signature line of the innermost fn enclosing line
+    /// `i`, if any; lets suppression lookups walk to the fn header.
+    pub fn_sigs: Vec<Option<usize>>,
 }
 
 /// A raw (unlexed) text file: Cargo.toml manifests and artifact docs.
@@ -128,6 +134,8 @@ fn load_source(root: &Path, rel: &str, crate_name: &str) -> Result<SourceFile, L
     let text = read(root, rel)?;
     let lines = scan(&text);
     let test_mask = compute_test_mask(&lines);
+    let items = parser::parse_file(&lines, &test_mask);
+    let fn_sigs = parser::enclosing_fn_sig(&items, lines.len());
     Ok(SourceFile {
         rel: rel.to_string(),
         crate_name: crate_name.to_string(),
@@ -136,6 +144,8 @@ fn load_source(root: &Path, rel: &str, crate_name: &str) -> Result<SourceFile, L
         is_crate_root: rel.ends_with("src/lib.rs"),
         lines,
         test_mask,
+        items,
+        fn_sigs,
     })
 }
 

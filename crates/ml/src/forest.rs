@@ -256,6 +256,7 @@ fn fit_one(
     RegressionTree::fit_on_indices(config, rows, labels, &idx, &mut rng)
 }
 
+// lint:allow(determinism-taint) thread count only sizes the tree-fitting tile blocks; every tree is seeded by its index, so forests are bit-identical across worker counts
 fn available_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)

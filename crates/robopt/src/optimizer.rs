@@ -222,6 +222,7 @@ impl Optimizer {
     /// Optimize one workload. Cache hits return the memoized response,
     /// which is bit-identical to what the cold path would produce
     /// (`tests/service_api.rs` and `tests/determinism.rs` assert this).
+    // lint:surface(deterministic, no-panic)
     pub fn optimize(&mut self, req: &OptimizeRequest) -> Result<OptimizeResponse, ServiceError> {
         let started = now();
         self.requests += 1;
@@ -252,6 +253,7 @@ impl Optimizer {
     /// batched tree inference across concurrent requests, not one dispatch
     /// per request. Responses come back in request order and are
     /// bit-identical to issuing [`Optimizer::optimize`] sequentially.
+    // lint:surface(deterministic, no-panic)
     pub fn optimize_batch(
         &mut self,
         reqs: &[OptimizeRequest],
@@ -358,6 +360,7 @@ impl Optimizer {
     }
 
     /// Train a forest per `req` and install it as the active oracle.
+    // lint:surface(deterministic, no-panic)
     pub fn train(&mut self, req: &TrainRequest) -> Result<TrainResponse, ServiceError> {
         if req.rows < 8 || req.rows > 1_000_000 {
             return Err(ServiceError::InvalidRequest(format!(
@@ -412,6 +415,7 @@ impl Optimizer {
     /// `RuntimeSimulator::simulate` path. Callers that need the raw
     /// simulator object — calibration sweeps, noise-envelope studies —
     /// use the [`Optimizer::simulator`] escape hatch instead of this verb.
+    // lint:surface(deterministic, no-panic)
     pub fn simulate(&mut self, req: &SimulateRequest) -> Result<SimulateResponse, ServiceError> {
         check_noise(req.noise)?;
         let plan = build_workload(&req.workload)?;
@@ -435,6 +439,7 @@ impl Optimizer {
     /// plus modeled platform overheads. With [`BackendChoice::Simulator`]
     /// this is `simulate` with the full per-operator breakdown. Empty
     /// `req.assignments` optimizes first and executes the winner.
+    // lint:surface(no-panic)
     pub fn execute(&mut self, req: &ExecuteRequest) -> Result<ExecuteResponse, ServiceError> {
         let plan = build_workload(&req.workload)?;
         let names = self.resolve_or_optimize(&plan, &req.workload, &req.assignments)?;
@@ -498,6 +503,7 @@ impl Optimizer {
     /// The Fig-2 experiment as a verb: optimize, then pit the mixed winner
     /// against every single-platform execution under oracle cost *and*
     /// simulated runtime.
+    // lint:surface(deterministic, no-panic)
     pub fn compare(&mut self, req: &CompareRequest) -> Result<CompareResponse, ServiceError> {
         let plan = build_workload(&req.workload)?;
         let mixed = self.optimize(&OptimizeRequest::new(req.workload).with_policy(req.policy))?;
@@ -557,6 +563,7 @@ impl Optimizer {
     /// the result into a response. Always goes through the parallel
     /// driver — its output is bit-identical across worker counts, which is
     /// what lets the cache key ignore `workers`.
+    // lint:allow(index-literal) one-row winner distribution by construction: finish() asserts a non-empty enumeration, and the debug_assert below checks the mean against the canonical cost
     fn enumerate_response(
         &mut self,
         req: &OptimizeRequest,
@@ -590,7 +597,6 @@ impl Optimizer {
         oracle
             .as_dyn()
             .cost_batch_dist(RowsView::new(feats, layout.width), dist);
-        // lint:allow(index-literal) one winner row by construction: finish() asserts a non-empty enumeration, so the distribution has exactly one row
         let _winner_mean = dist.mean[0];
         debug_assert_eq!(
             _winner_mean.to_bits(),
@@ -607,11 +613,8 @@ impl Optimizer {
                 .collect(),
             distinct_platforms: exec.distinct_platforms(),
             cost: exec.cost,
-            // lint:allow(index-literal) same one-row distribution as the debug_assert above
             cost_std: dist.std[0],
-            // lint:allow(index-literal) same one-row distribution as the debug_assert above
             cost_q10: dist.q10[0],
-            // lint:allow(index-literal) same one-row distribution as the debug_assert above
             cost_q90: dist.q90[0],
             risk_policy: risk.label(),
             stats,
@@ -720,14 +723,12 @@ fn check_noise(noise: f64) -> Result<(), ServiceError> {
 /// or any deterministic response field.
 // lint:allow(wall-clock) service telemetry only: values land in StatsResponse::total_micros and never influence optimization, cache decisions, or response payloads
 fn now() -> std::time::Instant {
-    // lint:allow(wall-clock) same telemetry-only contract as the fn docs above
     std::time::Instant::now()
 }
 
 /// Microseconds since `started`, saturated into `u64`.
 // lint:allow(wall-clock) telemetry-only: reads back the mark taken by now()
 fn elapsed_micros(started: std::time::Instant) -> u64 {
-    // lint:allow(wall-clock) telemetry readback of the mark taken by now()
     u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 

@@ -85,17 +85,16 @@ impl PiecewisePoly {
 }
 
 /// Newton divided-difference coefficients for one window.
+// lint:allow(index-literal) fixed-size [f64; WINDOW] arrays, in-bounds by construction
 fn newton_coeffs(xs: &[f64], ys: &[f64]) -> [f64; WINDOW] {
     // lint:allow(panic-expect) callers slice exact WINDOW-length windows out of the knot grid
     let mut table: [f64; WINDOW] = ys.try_into().expect("window of 6 ordinates");
     let mut out = [0.0; WINDOW];
-    // lint:allow(index-literal) fixed-size [f64; WINDOW] arrays, in-bounds by construction
     out[0] = table[0];
     for order in 1..WINDOW {
         for i in 0..WINDOW - order {
             table[i] = (table[i + 1] - table[i]) / (xs[i + order] - xs[i]);
         }
-        // lint:allow(index-literal) fixed-size [f64; WINDOW] arrays, in-bounds by construction
         out[order] = table[0];
     }
     out
